@@ -1,0 +1,88 @@
+// Quickstart: the paper's Figure 1 scenario end to end.
+//
+// Two online stores are modelled as node-labelled digraphs: the pattern Gp
+// describes the catalogue structure a buyer expects; the data graph G is a
+// real store whose pages use different names and deeper navigation. Plain
+// homomorphism and subgraph isomorphism both fail here — no label-equal,
+// edge-to-edge mapping exists — while p-homomorphism matches the sites by
+// allowing similar (not equal) nodes and edge-to-path mappings.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphmatch"
+)
+
+func main() {
+	// Pattern store Gp: A sells books (textbooks, audiobooks) and audio
+	// (audiobooks, albums).
+	gp := graphmatch.FromEdgeList(
+		[]string{"A", "books", "audio", "textbooks", "abooks", "albums"},
+		[][2]int{
+			{0, 1}, // A → books
+			{0, 2}, // A → audio
+			{1, 3}, // books → textbooks
+			{1, 4}, // books → abooks
+			{2, 4}, // audio → abooks
+			{2, 5}, // audio → albums
+		},
+	)
+
+	// Data store G: same capability, different vocabulary and an extra
+	// navigation level (categories, features, genres).
+	g := graphmatch.FromEdgeList(
+		[]string{"B", "books", "sports", "digital", "categories", "audio",
+			"school", "arts", "audiobooks", "booksets", "DVDs", "CDs",
+			"features", "genres", "albums"},
+		[][2]int{
+			{0, 1}, {0, 2}, {0, 3}, // B → books, sports, digital
+			{1, 4}, {1, 9}, {1, 5}, // books → categories, booksets, audio
+			{4, 6}, {4, 7}, // categories → school, arts
+			{5, 8}, {5, 10}, {5, 11}, // audio → audiobooks, DVDs, CDs
+			{3, 12}, {3, 13}, // digital → features, genres
+			{12, 8},  // features → audiobooks
+			{13, 14}, // genres → albums
+		},
+	)
+
+	// The page checker's similarity matrix mate() of Example 3.1.
+	mate := graphmatch.SparseMatrix()
+	mate.Set(0, 0, 0.7)   // A ~ B
+	mate.Set(2, 3, 0.7)   // audio ~ digital
+	mate.Set(1, 1, 1.0)   // books ~ books
+	mate.Set(4, 8, 0.8)   // abooks ~ audiobooks
+	mate.Set(1, 9, 0.6)   // books ~ booksets
+	mate.Set(3, 6, 0.6)   // textbooks ~ school
+	mate.Set(5, 14, 0.85) // albums ~ albums
+
+	m := graphmatch.NewMatcher(gp, g, mate, 0.6)
+
+	// Conventional matching fails: graph simulation demands edge-to-edge
+	// images.
+	fmt.Println("graph simulation matches:", graphmatch.Simulates(gp, g, mate, 0.6))
+
+	// p-hom succeeds — and even injectively (Example 3.2).
+	sigma, ok := m.IsPHom11()
+	fmt.Println("1-1 p-hom:", ok)
+	if !ok {
+		log.Fatal("expected a 1-1 p-hom mapping")
+	}
+	for _, v := range sigma.Domain() {
+		fmt.Printf("  %-10s -> %s\n", gp.Label(v), g.Label(sigma[v]))
+	}
+
+	// The approximation algorithms find the same full mapping without the
+	// exponential search, with quality guarantees on partial matches.
+	approx := m.MaxCard()
+	fmt.Printf("compMaxCard: qualCard=%.2f qualSim=%.2f\n",
+		m.QualCard(approx), m.QualSim(approx))
+	if err := m.Verify(approx, false); err != nil {
+		log.Fatalf("invalid mapping: %v", err)
+	}
+}

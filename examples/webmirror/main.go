@@ -1,0 +1,57 @@
+// Web mirror detection — the paper's Exp-1 scenario in miniature.
+//
+// An archive holds eleven versions of one Web site. Mirror detection asks
+// whether a later snapshot is "the same site" as the original: pages may
+// have been rewritten, sections reorganised, and links rerouted, so exact
+// matching fails, but the navigational structure and page contents remain
+// similar. The pipeline is exactly the paper's: extract degree-based
+// skeletons, derive node similarity from shingled page text, and run the
+// p-hom approximation algorithms with the 0.75 match bar.
+//
+// Run with:
+//
+//	go run ./examples/webmirror
+package main
+
+import (
+	"fmt"
+
+	"graphmatch"
+	"graphmatch/internal/webgen"
+)
+
+func main() {
+	// A newspaper archive: the category with the fastest churn, so later
+	// versions drift away from the original.
+	arch := webgen.Generate(webgen.Config{
+		Category: webgen.Newspaper,
+		Pages:    1500,
+		Versions: 11,
+		Seed:     7,
+	})
+
+	// The oldest version's skeleton is the pattern (deg ≥ avg + 0.2·max).
+	pattern := webgen.Skeleton(arch.Versions[0], 0.2)
+	fmt.Printf("pattern skeleton: %d hub pages, %d links\n\n",
+		pattern.NumNodes(), pattern.NumEdges())
+
+	fmt.Println("version   skeleton   qualCard   verdict")
+	for i, snapshot := range arch.Versions[1:] {
+		data := webgen.Skeleton(snapshot, 0.2)
+		// Node similarity from page text, as in the paper's Section 6.
+		mat := graphmatch.ContentSimilarity(pattern, data, 4)
+		m := graphmatch.NewMatcher(pattern, data, mat, 0.75)
+		sigma := m.MaxCard()
+		q := m.QualCard(sigma)
+		verdict := "mirror"
+		if q < 0.75 {
+			verdict = "different"
+		}
+		fmt.Printf("   v%-2d     %4d       %.2f      %s\n",
+			i+1, data.NumNodes(), q, verdict)
+	}
+
+	fmt.Println("\nNewspapers churn quickly: early versions mirror the")
+	fmt.Println("original; later ones drift below the 0.75 bar — the effect")
+	fmt.Println("behind site 3's lower accuracy in Table 3.")
+}

@@ -1,0 +1,137 @@
+package graphmatch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fig1 builds the paper's Figure 1 online-store instance through the
+// public API.
+func fig1() (*Graph, *Graph, Matrix) {
+	gp := FromEdgeList(
+		[]string{"A", "books", "audio", "textbooks", "abooks", "albums"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}},
+	)
+	g := FromEdgeList(
+		[]string{"B", "books", "sports", "digital", "categories", "audio",
+			"school", "arts", "audiobooks", "booksets", "DVDs", "CDs",
+			"features", "genres", "albums"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 9}, {1, 5}, {4, 6},
+			{4, 7}, {5, 8}, {5, 10}, {5, 11}, {3, 12}, {3, 13}, {12, 8}, {13, 14}},
+	)
+	mate := SparseMatrix()
+	mate.Set(0, 0, 0.7)   // A → B
+	mate.Set(2, 3, 0.7)   // audio → digital
+	mate.Set(1, 1, 1.0)   // books → books
+	mate.Set(4, 8, 0.8)   // abooks → audiobooks
+	mate.Set(1, 9, 0.6)   // books → booksets
+	mate.Set(3, 6, 0.6)   // textbooks → school
+	mate.Set(5, 14, 0.85) // albums → albums
+	return gp, g, mate
+}
+
+func TestPublicAPIFigure1(t *testing.T) {
+	gp, g, mate := fig1()
+	m := NewMatcher(gp, g, mate, 0.6)
+	sigma, ok := m.IsPHom()
+	if !ok {
+		t.Fatal("Fig. 1 pattern should be p-hom to the store")
+	}
+	if err := m.Verify(sigma, false); err != nil {
+		t.Fatal(err)
+	}
+	sigma11, ok := m.IsPHom11()
+	if !ok {
+		t.Fatal("Fig. 1 pattern should be 1-1 p-hom to the store")
+	}
+	if err := m.Verify(sigma11, true); err != nil {
+		t.Fatal(err)
+	}
+	if q := m.QualCard(m.MaxCard()); q != 1 {
+		t.Fatalf("MaxCard quality = %v, want 1", q)
+	}
+	if !m.Matches(m.MaxCard(), MetricCard, 0.75) {
+		t.Fatal("full mapping should match at 0.75")
+	}
+	if q := m.QualSim(m.MaxSim()); q <= 0 {
+		t.Fatalf("MaxSim quality = %v", q)
+	}
+}
+
+func TestPublicAPISimulationContrast(t *testing.T) {
+	// The package doc's motivating contrast: an edge-to-path instance that
+	// p-hom accepts and simulation rejects.
+	g1 := FromEdgeList([]string{"a", "c"}, [][2]int{{0, 1}})
+	g2 := FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	mat := LabelEquality(g1, g2)
+	if Simulates(g1, g2, mat, 0.5) {
+		t.Fatal("simulation should fail on edge-to-path data")
+	}
+	if _, ok := NewMatcher(g1, g2, mat, 0.5).IsPHom(); !ok {
+		t.Fatal("p-hom should succeed on edge-to-path data")
+	}
+}
+
+func TestPublicAPIContentSimilarity(t *testing.T) {
+	g1 := NewGraph(1)
+	v := g1.AddNode("page")
+	g1.SetContent(v, "graph matching with path mappings and node similarity")
+	g2 := NewGraph(2)
+	u1 := g2.AddNode("page")
+	g2.SetContent(u1, "graph matching with path mappings and node similarity")
+	u2 := g2.AddNode("page")
+	g2.SetContent(u2, "unrelated recipe for vegetable soup with carrots")
+	mat := ContentSimilarity(g1, g2, 3)
+	if mat.Score(v, u1) != 1 {
+		t.Fatal("identical content should score 1")
+	}
+	if mat.Score(v, u2) != 0 {
+		t.Fatal("unrelated content should score 0")
+	}
+}
+
+func TestPublicAPIInjectiveDifference(t *testing.T) {
+	g1 := FromEdgeList([]string{"A", "A", "B"}, [][2]int{{0, 2}, {1, 2}})
+	g2 := FromEdgeList([]string{"A", "B"}, [][2]int{{0, 1}})
+	m := NewMatcher(g1, g2, LabelEquality(g1, g2), 0.5)
+	if _, ok := m.IsPHom(); !ok {
+		t.Fatal("p-hom should hold")
+	}
+	if _, ok := m.IsPHom11(); ok {
+		t.Fatal("1-1 p-hom should fail")
+	}
+	if len(m.MaxCard()) != 3 || len(m.MaxCard11()) != 2 {
+		t.Fatal("cardinality gap between plain and 1-1 missing")
+	}
+	if len(m.MaxSim11()) > len(m.MaxSim()) {
+		t.Fatal("injective similarity mapping larger than plain")
+	}
+	if len(m.PartitionedMaxCard()) != 3 {
+		t.Fatal("partitioned matcher should cover all nodes")
+	}
+}
+
+// ExampleMatcher demonstrates the quickstart flow on the paper's Fig. 1
+// instance.
+func ExampleMatcher() {
+	pattern := FromEdgeList(
+		[]string{"A", "books", "audio"},
+		[][2]int{{0, 1}, {0, 2}},
+	)
+	data := FromEdgeList(
+		[]string{"B", "categories", "books", "digital"},
+		[][2]int{{0, 1}, {1, 2}, {0, 3}},
+	)
+	mat := SparseMatrix()
+	mat.Set(0, 0, 0.9) // A ~ B
+	mat.Set(1, 2, 1.0) // books ~ books (reached via a path)
+	mat.Set(2, 3, 0.8) // audio ~ digital
+
+	m := NewMatcher(pattern, data, mat, 0.75)
+	sigma, ok := m.IsPHom()
+	fmt.Println("p-hom:", ok)
+	fmt.Println("coverage:", m.QualCard(sigma))
+	// Output:
+	// p-hom: true
+	// coverage: 1
+}

@@ -1,0 +1,74 @@
+package closure
+
+import (
+	"sort"
+	"strings"
+
+	"graphmatch/internal/graph"
+)
+
+// Compressed is the Appendix B representation G2* of a closure graph G2+:
+// every SCC of G2 (a clique in G2+) collapses to a single node labelled
+// with the bag of member labels and carrying a self-loop when the clique is
+// nonempty. The paper observes that matching against G2* preserves (1-1)
+// p-hom mappings and their quality while shrinking the graph; the capacity
+// of each bag bounds how many distinct G1 nodes a 1-1 mapping may place in
+// that component.
+type Compressed struct {
+	// Star is the compressed graph: one node per SCC of the original G2.
+	// Node labels are "a|b|c"-style sorted bags of member labels.
+	Star *graph.Graph
+	// Comp maps original node → compressed node.
+	Comp []int
+	// Members lists original nodes per compressed node.
+	Members [][]graph.NodeID
+	// Capacity is len(Members[c]) — how many injective assignments a bag
+	// can absorb.
+	Capacity []int
+}
+
+// Compress builds the Appendix B compressed closure G2* of g.
+func Compress(g *graph.Graph) *Compressed {
+	dag, scc, selfReach := g.Condense()
+	k := scc.NumComponents()
+	star := graph.New(k)
+	capacity := make([]int, k)
+	for c := 0; c < k; c++ {
+		labels := make([]string, 0, len(scc.Members[c]))
+		for _, v := range scc.Members[c] {
+			labels = append(labels, g.Label(v))
+		}
+		sort.Strings(labels)
+		star.AddNode(strings.Join(labels, "|"))
+		capacity[c] = len(scc.Members[c])
+	}
+	// Edges of the condensation become closure edges between bags: one hop
+	// in Star means "some nonempty path in G2". Reachability propagates over
+	// the DAG; components are in reverse topological order, as in Compute.
+	succs := make([]map[int]struct{}, k)
+	for c := 0; c < k; c++ {
+		set := make(map[int]struct{})
+		for _, s := range dag.Post(graph.NodeID(c)) {
+			set[int(s)] = struct{}{}
+			for t := range succs[s] {
+				set[t] = struct{}{}
+			}
+		}
+		if selfReach[c] {
+			set[c] = struct{}{}
+		}
+		succs[c] = set
+	}
+	for c := 0; c < k; c++ {
+		for t := range succs[c] {
+			star.AddEdge(graph.NodeID(c), graph.NodeID(t))
+		}
+	}
+	star.Finish()
+	return &Compressed{Star: star, Comp: scc.Comp, Members: scc.Members, Capacity: capacity}
+}
+
+// BagLabels returns the sorted member labels of compressed node c.
+func (c *Compressed) BagLabels(comp int) []string {
+	return strings.Split(c.Star.Label(graph.NodeID(comp)), "|")
+}

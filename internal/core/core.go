@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution: the
+// p-homomorphism and 1-1 p-homomorphism matching notions (Section 3), the
+// exact decision procedures (Section 4's NP membership), and the
+// approximation algorithms compMaxCard, compMaxCard1−1, compMaxSim and
+// compMaxSim1−1 of Section 5 (Figs. 3–4), together with the Appendix B
+// optimisations and naive product-graph variants used for cross-checking.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// Mapping is a (partial) node mapping σ from G1 to G2: dom(σ) ⊆ V1,
+// σ(v) ∈ V2. All algorithms in this package return Mappings whose validity
+// can be re-checked with Instance.CheckMapping.
+type Mapping map[graph.NodeID]graph.NodeID
+
+// Clone returns an independent copy.
+func (m Mapping) Clone() Mapping {
+	c := make(Mapping, len(m))
+	for v, u := range m {
+		c[v] = u
+	}
+	return c
+}
+
+// Domain returns dom(σ) sorted by node ID.
+func (m Mapping) Domain() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Injective reports whether σ maps distinct nodes to distinct nodes.
+func (m Mapping) Injective() bool {
+	seen := make(map[graph.NodeID]struct{}, len(m))
+	for _, u := range m {
+		if _, dup := seen[u]; dup {
+			return false
+		}
+		seen[u] = struct{}{}
+	}
+	return true
+}
+
+// String renders the mapping deterministically for logs and tests.
+func (m Mapping) String() string {
+	dom := m.Domain()
+	s := "{"
+	for i, v := range dom {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d→%d", v, m[v])
+	}
+	return s + "}"
+}
+
+// Instance bundles one matching problem: pattern G1, data graph G2, the
+// similarity matrix mat() and threshold ξ of Section 3.1. The transitive
+// closure of G2 is computed lazily and cached; Instances are cheap to pass
+// by pointer and safe for concurrent use after the first algorithm call.
+type Instance struct {
+	G1  *graph.Graph
+	G2  *graph.Graph
+	Mat simmatrix.Matrix
+	Xi  float64
+
+	// MaxPathLen, when positive, bounds the length of the data-graph
+	// paths that pattern edges may map to — the fixed-length variant of
+	// pattern matching (cf. [32] in the paper's related work). 1 demands
+	// edge-to-edge images (similarity-relaxed homomorphism); 0 means
+	// unbounded, the paper's default. Set it before the first algorithm
+	// call.
+	MaxPathLen int
+
+	reach *closure.Reach
+}
+
+// NewInstance builds an instance. Xi outside [0, 1] is clamped.
+func NewInstance(g1, g2 *graph.Graph, mat simmatrix.Matrix, xi float64) *Instance {
+	if xi < 0 {
+		xi = 0
+	}
+	if xi > 1 {
+		xi = 1
+	}
+	return &Instance{G1: g1, G2: g2, Mat: mat, Xi: xi}
+}
+
+// Reach returns the cached reachability index of G2: the full transitive
+// closure by default (the adjacency matrix H2 of Fig. 3, lines 5–7), or
+// the bounded index when MaxPathLen is set.
+func (in *Instance) Reach() *closure.Reach {
+	if in.reach == nil {
+		in.reach = closure.ComputeBounded(in.G2, in.MaxPathLen)
+	}
+	return in.reach
+}
+
+// Symmetric returns the instance that matches paths on both sides
+// (Section 3.2, Remark): the pattern is replaced by its transitive
+// closure G1+, so a pattern *path* v ⇝ v′ may map to a data path. The
+// returned instance shares this instance's data graph, matrix, threshold
+// and cached closure.
+func (in *Instance) Symmetric() *Instance {
+	g1plus := closure.Compute(in.G1).Graph(in.G1)
+	return &Instance{
+		G1: g1plus, G2: in.G2, Mat: in.Mat, Xi: in.Xi,
+		MaxPathLen: in.MaxPathLen, reach: in.reach,
+	}
+}
+
+// admissible reports whether v may map to u at all: mat(v, u) ≥ ξ.
+func (in *Instance) admissible(v, u graph.NodeID) bool {
+	return in.Mat.Score(v, u) >= in.Xi
+}
+
+// CheckMapping verifies that σ is a valid p-hom mapping from the subgraph
+// of G1 induced by dom(σ) to G2 — the polynomial-time certificate check
+// behind the NP upper bound of Theorem 4.1. With injective set it also
+// demands a 1-1 mapping. It returns nil when σ is valid and a descriptive
+// error otherwise.
+func (in *Instance) CheckMapping(m Mapping, injective bool) error {
+	reach := in.Reach()
+	for v, u := range m {
+		if int(v) < 0 || int(v) >= in.G1.NumNodes() {
+			return fmt.Errorf("core: domain node %d outside G1", v)
+		}
+		if int(u) < 0 || int(u) >= in.G2.NumNodes() {
+			return fmt.Errorf("core: image node %d outside G2", u)
+		}
+		if !in.admissible(v, u) {
+			return fmt.Errorf("core: pair (%d,%d) has mat %.3f < ξ %.3f", v, u, in.Mat.Score(v, u), in.Xi)
+		}
+	}
+	if injective && !m.Injective() {
+		return fmt.Errorf("core: mapping is not injective")
+	}
+	// Edge-to-path condition over edges internal to dom(σ).
+	for v, u := range m {
+		for _, v2 := range in.G1.Post(v) {
+			u2, ok := m[v2]
+			if !ok {
+				continue
+			}
+			if !reach.Reachable(u, u2) {
+				return fmt.Errorf("core: edge (%d,%d) of G1 maps to (%d,%d) with no nonempty path in G2", v, v2, u, u2)
+			}
+		}
+	}
+	return nil
+}
+
+// QualCard is the maximum-cardinality metric of Section 3.3:
+// qualCard(σ) = |dom(σ)| / |V1|. An empty G1 scores 1 by convention.
+func (in *Instance) QualCard(m Mapping) float64 {
+	n := in.G1.NumNodes()
+	if n == 0 {
+		return 1
+	}
+	return float64(len(m)) / float64(n)
+}
+
+// QualSim is the maximum-overall-similarity metric of Section 3.3:
+// qualSim(σ) = Σ_{v ∈ dom σ} w(v)·mat(v, σ(v)) / Σ_{v ∈ V1} w(v).
+func (in *Instance) QualSim(m Mapping) float64 {
+	total := 0.0
+	for v := 0; v < in.G1.NumNodes(); v++ {
+		total += in.G1.Weight(graph.NodeID(v))
+	}
+	if total == 0 {
+		return 1
+	}
+	got := 0.0
+	for v, u := range m {
+		got += in.G1.Weight(v) * in.Mat.Score(v, u)
+	}
+	return got / total
+}
+
+// pairWeight is the product-graph node weight w(v)·mat(v, u) used by the
+// similarity-driven algorithms.
+func (in *Instance) pairWeight(v, u graph.NodeID) float64 {
+	return in.G1.Weight(v) * in.Mat.Score(v, u)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sort"
+
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+)
+
+// This file hosts the exact decision procedures for the p-hom and 1-1
+// p-hom problems (G1 ≼(e,p) G2 and G1 ≼1-1(e,p) G2, Section 3.2). The
+// problems are NP-complete even for DAGs (Theorem 4.1), so these are
+// exponential backtracking searches. They exist to provide ground truth for
+// the approximation algorithms on small inputs, to power the worked
+// examples, and to validate the reduction constructions of Appendix A.
+
+// Decide reports whether G1 is p-hom to G2 w.r.t. mat() and ξ, returning a
+// witness mapping over the whole of V1 when it is.
+func (in *Instance) Decide() (Mapping, bool) {
+	return in.decideWith(false, false)
+}
+
+// Decide11 reports whether G1 is 1-1 p-hom to G2, returning an injective
+// witness mapping when it is.
+func (in *Instance) Decide11() (Mapping, bool) {
+	return in.decideWith(true, false)
+}
+
+func (in *Instance) decideWith(injective, filtered bool) (Mapping, bool) {
+	n1 := in.G1.NumNodes()
+	if n1 == 0 {
+		return Mapping{}, true
+	}
+	reach := in.Reach()
+
+	// Candidate lists per node, pre-filtered by ξ and the self-loop
+	// condition (a node with a self-loop needs an image on a cycle).
+	cands := make([][]graph.NodeID, n1)
+	for v := 0; v < n1; v++ {
+		vv := graph.NodeID(v)
+		selfLoop := in.G1.HasEdge(vv, vv)
+		for u := 0; u < in.G2.NumNodes(); u++ {
+			uu := graph.NodeID(u)
+			if !in.admissible(vv, uu) {
+				continue
+			}
+			if selfLoop && !reach.Reachable(uu, uu) {
+				continue
+			}
+			cands[v] = append(cands[v], uu)
+		}
+		if len(cands[v]) == 0 {
+			return nil, false
+		}
+	}
+	if filtered {
+		in.filterCandidates(cands, injective)
+		for v := range cands {
+			if len(cands[v]) == 0 {
+				return nil, false
+			}
+		}
+	}
+
+	// Assign scarcest-first: fewer candidates fail faster.
+	order := make([]graph.NodeID, n1)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return len(cands[order[i]]) < len(cands[order[j]])
+	})
+
+	assigned := make([]graph.NodeID, n1)
+	for i := range assigned {
+		assigned[i] = graph.Invalid
+	}
+	used := make(map[graph.NodeID]int) // image use counts for 1-1
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n1 {
+			return true
+		}
+		v := order[k]
+		for _, u := range cands[v] {
+			if injective && used[u] > 0 {
+				continue
+			}
+			if !consistent(in, reach, assigned, v, u) {
+				continue
+			}
+			assigned[v] = u
+			used[u]++
+			if try(k + 1) {
+				return true
+			}
+			used[u]--
+			assigned[v] = graph.Invalid
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, false
+	}
+	m := make(Mapping, n1)
+	for v := 0; v < n1; v++ {
+		m[graph.NodeID(v)] = assigned[v]
+	}
+	return m, true
+}
+
+// consistent checks the edge-to-path condition of v→u against every
+// already-assigned neighbour of v.
+func consistent(in *Instance, reach *closure.Reach, assigned []graph.NodeID, v, u graph.NodeID) bool {
+	for _, v2 := range in.G1.Post(v) {
+		if u2 := assigned[v2]; u2 != graph.Invalid && !reach.Reachable(u, u2) {
+			return false
+		}
+	}
+	for _, v0 := range in.G1.Prev(v) {
+		if u0 := assigned[v0]; u0 != graph.Invalid && !reach.Reachable(u0, u) {
+			return false
+		}
+	}
+	return true
+}

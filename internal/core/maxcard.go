@@ -1,0 +1,360 @@
+package core
+
+import (
+	"graphmatch/internal/bitset"
+	"graphmatch/internal/graph"
+)
+
+// This file implements algorithm compMaxCard of Fig. 3 and its procedures
+// greedyMatch and trimMatching of Fig. 4, together with the 1-1 variant
+// compMaxCard1−1 (Section 5, "Approximation algorithm for CPH1−1").
+//
+// The matching list H keeps, for every pattern node v still in play, the
+// set H[v].good of data nodes that may match v. greedyMatch picks a
+// candidate pair (v, u), trims the neighbours' candidate sets against it
+// (parents must reach u, children must be reachable from u — consulting
+// the closure index H2), and splits H into H+ (the world where (v, u) is a
+// match) and H− (the world where it is not: every candidate the trim
+// displaced, plus v's remaining candidates). The larger of the two
+// recursive solutions wins; the set I of pairwise-contradictory pairs that
+// comes back up lets the outer loop discard bad regions of the search
+// space early. The procedure simulates Ramsey/ISRemoval on the product
+// graph (Proposition 5.2) and inherits the O(log²(n1·n2)/(n1·n2))
+// guarantee of Theorem 5.1.
+
+// Pair is one candidate match (v, u) handled by the matching list.
+type Pair struct {
+	V graph.NodeID
+	U graph.NodeID
+}
+
+// matchList is the matching list H restricted to nodes with nonempty good
+// sets. minus sets are not stored between calls: both H+ and H− reset
+// minus to ∅ (Fig. 4 lines 7 and 9), so they live only inside greedyMatch.
+type matchList struct {
+	nodes []graph.NodeID
+	good  map[graph.NodeID]*bitset.Set
+}
+
+func (h *matchList) add(v graph.NodeID, set *bitset.Set) {
+	h.nodes = append(h.nodes, v)
+	h.good[v] = set
+}
+
+func newMatchList() *matchList {
+	return &matchList{good: make(map[graph.NodeID]*bitset.Set)}
+}
+
+// pairCount reports the number of candidate pairs Σ_v |good[v]|.
+func (h *matchList) pairCount() int {
+	total := 0
+	for _, v := range h.nodes {
+		total += h.good[v].Count()
+	}
+	return total
+}
+
+// SearchStats instruments one run of the compMaxCard machinery. All
+// counters are cumulative over the outer loop's greedyMatch invocations.
+type SearchStats struct {
+	// InitialPairs is Σ|H[v].good| at the start (product-graph size).
+	InitialPairs int
+	// OuterIterations counts rounds of the Fig. 3 while loop.
+	OuterIterations int
+	// GreedyCalls counts recursive greedyMatch invocations.
+	GreedyCalls int
+	// MaxDepth is the deepest recursion reached.
+	MaxDepth int
+	// ConflictPairsRemoved counts pairs discarded via the I sets.
+	ConflictPairsRemoved int
+	// AugmentedPairs counts pairs added by the augmentation pass.
+	AugmentedPairs int
+}
+
+// matcher carries the immutable per-instance state shared by all
+// greedyMatch invocations: the pattern adjacency (H1), the closure rows of
+// G2 in both directions (H2), and the injectivity flag.
+type matcher struct {
+	in        *Instance
+	injective bool
+	pickFirst bool // ablation: pick the first node instead of max-|good|
+	pickBest  bool // pick the heaviest candidate u (used by compMaxSim)
+	n2        int
+	fwd       []*bitset.Set // fwd[u] = {u' : nonempty path u ⇝ u'}
+	bwd       []*bitset.Set // bwd[u] = {u' : nonempty path u' ⇝ u}
+	prevBits  []*bitset.Set // prevBits[v] over V1
+	postBits  []*bitset.Set // postBits[v] over V1
+	stats     SearchStats
+}
+
+func (in *Instance) newMatcher(injective bool) *matcher {
+	n1, n2 := in.G1.NumNodes(), in.G2.NumNodes()
+	reach := in.Reach()
+	mx := &matcher{in: in, injective: injective, n2: n2}
+	mx.fwd = make([]*bitset.Set, n2)
+	mx.bwd = make([]*bitset.Set, n2)
+	for u := 0; u < n2; u++ {
+		mx.fwd[u] = reach.ReachableSet(graph.NodeID(u))
+		mx.bwd[u] = bitset.New(n2)
+	}
+	for u := 0; u < n2; u++ {
+		row := mx.fwd[u]
+		for w := row.Next(0); w >= 0; w = row.Next(w + 1) {
+			mx.bwd[w].Add(u)
+		}
+	}
+	mx.prevBits = make([]*bitset.Set, n1)
+	mx.postBits = make([]*bitset.Set, n1)
+	for v := 0; v < n1; v++ {
+		pb := bitset.New(n1)
+		for _, p := range in.G1.Prev(graph.NodeID(v)) {
+			pb.Add(int(p))
+		}
+		mx.prevBits[v] = pb
+		sb := bitset.New(n1)
+		for _, s := range in.G1.Post(graph.NodeID(v)) {
+			sb.Add(int(s))
+		}
+		mx.postBits[v] = sb
+	}
+	return mx
+}
+
+// initialList builds the top-level matching list (Fig. 3 line 4): good[v]
+// holds every u with mat(v, u) ≥ ξ, additionally respecting the self-loop
+// condition (a pattern node on a cycle of length one needs a self-reaching
+// image). Nodes with no candidates are excluded — they can never join a
+// mapping (the Appendix B partitioning observation).
+func (mx *matcher) initialList() *matchList {
+	in := mx.in
+	reach := in.Reach()
+	h := newMatchList()
+	for v := 0; v < in.G1.NumNodes(); v++ {
+		vv := graph.NodeID(v)
+		selfLoop := in.G1.HasEdge(vv, vv)
+		set := bitset.New(mx.n2)
+		for u := 0; u < mx.n2; u++ {
+			uu := graph.NodeID(u)
+			if !in.admissible(vv, uu) {
+				continue
+			}
+			if selfLoop && !reach.Reachable(uu, uu) {
+				continue
+			}
+			set.Add(u)
+		}
+		if !set.Empty() {
+			h.add(vv, set)
+		}
+	}
+	return h
+}
+
+// greedyMatch is procedure greedyMatch of Fig. 4. It never mutates h; the
+// partitions share unchanged rows with the parent list, which is safe
+// because lists are read-only once constructed.
+func (mx *matcher) greedyMatch(h *matchList) (sigma, conflicts []Pair) {
+	return mx.greedyMatchAt(h, 1)
+}
+
+func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pair) {
+	if len(h.nodes) == 0 {
+		return nil, nil
+	}
+	mx.stats.GreedyCalls++
+	if depth > mx.stats.MaxDepth {
+		mx.stats.MaxDepth = depth
+	}
+	// Line 2: pick v with maximal good set, then a candidate u. The
+	// pickFirst ablation takes the first node instead, quantifying how
+	// much the max-|good| heuristic contributes.
+	var v graph.NodeID
+	if mx.pickFirst {
+		v = h.nodes[0]
+	} else {
+		best := -1
+		for _, cand := range h.nodes {
+			if c := h.good[cand].Count(); c > best {
+				best, v = c, cand
+			}
+		}
+	}
+	u := mx.pickCandidate(v, h.good[v])
+
+	plus := newMatchList()
+	minus := newMatchList()
+
+	// Line 3: v keeps only u (which moves out of the list via the match);
+	// its displaced candidates seed H−.
+	mv := h.good[v].Clone()
+	mv.Remove(int(u))
+	if !mv.Empty() {
+		minus.add(v, mv)
+	}
+
+	// Line 4 (trimMatching) merged with lines 5–9 (partition): for every
+	// other node, intersect its candidates with the closure rows the edge
+	// constraints demand; displaced candidates go to H−.
+	for _, v2 := range h.nodes {
+		if v2 == v {
+			continue
+		}
+		old := h.good[v2]
+		isPrev := mx.prevBits[v].Contains(int(v2)) // edge (v2, v): σ(v2) must reach u
+		isPost := mx.postBits[v].Contains(int(v2)) // edge (v, v2): u must reach σ(v2)
+		needsU := mx.injective && old.Contains(int(u))
+		if !isPrev && !isPost && !needsU {
+			plus.add(v2, old) // untouched row: share it
+			continue
+		}
+		trimmed := old.Clone()
+		if isPrev {
+			trimmed.And(mx.bwd[u])
+		}
+		if isPost {
+			trimmed.And(mx.fwd[u])
+		}
+		if needsU {
+			trimmed.Remove(int(u))
+		}
+		moved := old.Clone()
+		moved.AndNot(trimmed)
+		if !trimmed.Empty() {
+			plus.add(v2, trimmed)
+		}
+		if !moved.Empty() {
+			minus.add(v2, moved)
+		}
+	}
+
+	// Lines 10–13: recurse on both worlds and keep the larger outcomes.
+	s1, i1 := mx.greedyMatchAt(plus, depth+1)
+	s2, i2 := mx.greedyMatchAt(minus, depth+1)
+
+	if len(s1)+1 >= len(s2) {
+		sigma = append(s1, Pair{V: v, U: u})
+	} else {
+		sigma = s2
+	}
+	if len(i1) > len(i2)+1 {
+		conflicts = i1
+	} else {
+		conflicts = append(i2, Pair{V: v, U: u})
+	}
+	return sigma, conflicts
+}
+
+// pickCandidate selects u from v's good set: the first candidate by ID
+// for the cardinality algorithms (any candidate contributes equally to
+// qualCard), or the heaviest pair w(v)·mat(v, u) for the similarity
+// algorithms (where the pick directly feeds the qualSim numerator).
+func (mx *matcher) pickCandidate(v graph.NodeID, good *bitset.Set) graph.NodeID {
+	if !mx.pickBest {
+		return graph.NodeID(good.Next(0))
+	}
+	best, bestW := good.Next(0), -1.0
+	for u := good.Next(0); u >= 0; u = good.Next(u + 1) {
+		if w := mx.in.pairWeight(v, graph.NodeID(u)); w > bestW {
+			bestW, best = w, u
+		}
+	}
+	return graph.NodeID(best)
+}
+
+// removePairs deletes the pairs of I from the top-level matching list
+// (Fig. 3 line 10, "H := H \ I") and drops nodes whose candidate sets
+// become empty.
+func (h *matchList) removePairs(pairs []Pair) {
+	for _, p := range pairs {
+		if set, ok := h.good[p.V]; ok {
+			set.Remove(int(p.U))
+		}
+	}
+	alive := h.nodes[:0]
+	for _, v := range h.nodes {
+		if h.good[v].Empty() {
+			delete(h.good, v)
+			continue
+		}
+		alive = append(alive, v)
+	}
+	h.nodes = alive
+}
+
+// run is the outer loop of compMaxCard (Fig. 3 lines 8–12), followed by a
+// greedy augmentation pass: leftover pattern nodes absorb any remaining
+// candidate consistent with the mapping found. Augmentation can only grow
+// a valid mapping, so the approximation guarantee survives; it matters
+// most at low thresholds ξ, where candidates abound and the paper observes
+// that "it is relatively easy for a node in G1 to find its matching
+// nodes".
+func (mx *matcher) run(h *matchList) Mapping {
+	mx.stats.InitialPairs += h.pairCount()
+	var sigmaM []Pair
+	for len(h.nodes) > len(sigmaM) {
+		mx.stats.OuterIterations++
+		sigma, conflicts := mx.greedyMatch(h)
+		if len(sigma) > len(sigmaM) {
+			sigmaM = sigma
+		}
+		if len(conflicts) == 0 {
+			break // defensive: cannot make progress
+		}
+		mx.stats.ConflictPairsRemoved += len(conflicts)
+		h.removePairs(conflicts)
+	}
+	base := pairsToMapping(sigmaM)
+	out := mx.augment(base)
+	mx.stats.AugmentedPairs += len(out) - len(base)
+	return out
+}
+
+func pairsToMapping(pairs []Pair) Mapping {
+	m := make(Mapping, len(pairs))
+	for _, p := range pairs {
+		m[p.V] = p.U
+	}
+	return m
+}
+
+// CompMaxCard is algorithm compMaxCard (Fig. 3): an approximation for the
+// maximum cardinality problem CPH with quality within
+// O(log²(|V1|·|V2|)/(|V1|·|V2|)) of the optimum (Proposition 5.2). The
+// returned mapping is always a valid p-hom mapping from the subgraph of G1
+// induced by its domain to G2.
+func (in *Instance) CompMaxCard() Mapping {
+	mx := in.newMatcher(false)
+	return mx.run(mx.initialList())
+}
+
+// CompMaxCard11 is compMaxCard1−1: the CPH1−1 variant that keeps mappings
+// injective by displacing a matched data node from every other candidate
+// set. Same complexity and guarantee as CompMaxCard (Section 5).
+func (in *Instance) CompMaxCard11() Mapping {
+	mx := in.newMatcher(true)
+	return mx.run(mx.initialList())
+}
+
+// MatchOptions tunes the compMaxCard machinery for experiments.
+type MatchOptions struct {
+	// Injective switches to the 1-1 variant.
+	Injective bool
+	// ArbitraryPick replaces the max-|good| node selection of Fig. 4
+	// line 2 with "first node in list order" (ablation: DESIGN.md #4).
+	ArbitraryPick bool
+}
+
+// CompMaxCardOpts runs compMaxCard with explicit options.
+func (in *Instance) CompMaxCardOpts(opts MatchOptions) Mapping {
+	m, _ := in.CompMaxCardStats(opts)
+	return m
+}
+
+// CompMaxCardStats runs compMaxCard with explicit options and returns the
+// search instrumentation alongside the mapping.
+func (in *Instance) CompMaxCardStats(opts MatchOptions) (Mapping, SearchStats) {
+	mx := in.newMatcher(opts.Injective)
+	mx.pickFirst = opts.ArbitraryPick
+	m := mx.run(mx.initialList())
+	return m, mx.stats
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+func TestCompMaxSimExample33(t *testing.T) {
+	// Example 3.3's headline: under the similarity metric the optimal 1-1
+	// mapping covers {A, v2} only, with qualSim = 0.7, although the
+	// cardinality-optimal mapping covers four nodes.
+	in, _, v2 := example33()
+	m := in.CompMaxSim11()
+	if err := in.CheckMapping(m, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.QualSim(m); got < 0.699 || got > 0.701 {
+		t.Fatalf("qualSim = %v, want 0.7 (σ=%v)", got, m)
+	}
+	if _, ok := m[v2]; !ok {
+		t.Fatalf("σs should include the heavyweight v2; got %v", m)
+	}
+	// Cross-check against the exact optimum.
+	exact := in.ExactMaxSim(true)
+	if got, want := in.QualSim(m), in.QualSim(Mapping(exact)); got < want-1e-9 {
+		t.Fatalf("approximation %v below exact optimum %v", got, want)
+	}
+}
+
+func TestCompMaxSimPrefersHeavyNodes(t *testing.T) {
+	// Two disconnected pattern nodes compete for one data node; the
+	// heavier one must win under qualSim.
+	g1 := graph.FromEdgeList([]string{"x", "x"}, nil)
+	g1.SetWeight(0, 1)
+	g1.SetWeight(1, 10)
+	g2 := graph.FromEdgeList([]string{"x"}, nil)
+	in := NewInstance(g1, g2, simmatrix.NewLabelEquality(g1, g2), 0.5)
+	m := in.CompMaxSim11()
+	if err := in.CheckMapping(m, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m[1]; !ok {
+		t.Fatalf("heavy node should be matched, got %v", m)
+	}
+}
+
+func TestCompMaxSimValidityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 8, 12)
+		m := in.CompMaxSim()
+		if in.CheckMapping(m, false) != nil {
+			return false
+		}
+		m11 := in.CompMaxSim11()
+		return in.CheckMapping(m11, true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompMaxSimNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 6, 8)
+		// Random weights spread over an order of magnitude to exercise
+		// the bucket partition.
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		for v := 0; v < in.G1.NumNodes(); v++ {
+			in.G1.SetWeight(graph.NodeID(v), 0.5+rng.Float64()*9.5)
+		}
+		approx := in.QualSim(in.CompMaxSim())
+		exact := in.QualSim(in.ExactMaxSim(false))
+		if approx > exact+1e-9 {
+			return false
+		}
+		a11 := in.QualSim(in.CompMaxSim11())
+		e11 := in.QualSim(in.ExactMaxSim(true))
+		return a11 <= e11+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompMaxSimAtLeastAsGoodAsCardOnSim(t *testing.T) {
+	// runSim also evaluates the plain compMaxCard run, so its qualSim can
+	// never fall below compMaxCard's.
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 7, 10)
+		simQ := in.QualSim(in.CompMaxSim())
+		cardQ := in.QualSim(in.CompMaxCard())
+		return simQ >= cardQ-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompMaxSimUniformWeightsFigure1(t *testing.T) {
+	gp, g, mate := figure1()
+	in := NewInstance(gp, g, mate, 0.5)
+	m := in.CompMaxSim()
+	if err := in.CheckMapping(m, false); err != nil {
+		t.Fatal(err)
+	}
+	// Full mapping exists; with uniform weights qualSim is maximised by
+	// the best-scoring full assignment: (0.7+1.0+0.7+0.6+0.8+0.85)/6.
+	want := (0.7 + 1.0 + 0.7 + 0.6 + 0.8 + 0.85) / 6
+	if got := in.QualSim(m); got < want-1e-9 {
+		t.Fatalf("qualSim = %v, want ≥ %v", got, want)
+	}
+}
+
+func TestCompMaxSimEmptyPattern(t *testing.T) {
+	g1 := graph.New(0)
+	g2 := graph.FromEdgeList([]string{"x"}, nil)
+	in := NewInstance(g1, g2, simmatrix.NewLabelEquality(g1, g2), 0.5)
+	if m := in.CompMaxSim(); len(m) != 0 {
+		t.Fatalf("empty pattern should yield empty mapping, got %v", m)
+	}
+}
+
+func TestNaiveMaxSimValid(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		in := randomInstance(seed, 6, 8)
+		m := in.NaiveMaxSim()
+		if err := in.CheckMapping(m, false); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m11 := in.NaiveMaxSim11()
+		if err := in.CheckMapping(m11, true); err != nil {
+			t.Fatalf("seed %d (1-1): %v", seed, err)
+		}
+	}
+}
+
+func TestNaiveMaxCard11Valid(t *testing.T) {
+	for seed := int64(20); seed < 35; seed++ {
+		in := randomInstance(seed, 6, 8)
+		m := in.NaiveMaxCard11()
+		if err := in.CheckMapping(m, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMatchesConvention(t *testing.T) {
+	gp, g, mate := figure1()
+	in := NewInstance(gp, g, mate, 0.5)
+	m := in.CompMaxCard()
+	if !Matches(in, m, MetricCard, 0.75) {
+		t.Error("full mapping should match at threshold 0.75 under qualCard")
+	}
+	if Matches(in, Mapping{}, MetricCard, 0.75) {
+		t.Error("empty mapping should not match")
+	}
+	if MetricCard.String() != "qualCard" || MetricSim.String() != "qualSim" {
+		t.Error("metric names wrong")
+	}
+	if Metric(99).String() != "unknown" {
+		t.Error("unknown metric name wrong")
+	}
+	if Matches(in, m, Metric(99), 0.1) {
+		t.Error("unknown metric should never match")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"graphmatch/internal/product"
+)
+
+// This file hosts the naive approximation algorithms sketched after
+// Theorem 5.1 — materialise the product graph with the AFP-reduction's f,
+// run the independent-set/clique machinery of [7, 16] on it, and translate
+// back with g — plus exact optimum solvers built on the same product
+// (exponential, for ground truth in tests and on tiny inputs).
+//
+// The naive algorithms cost O(|V1|³|V2|³) time because the product graph
+// has O(|V1|·|V2|) nodes and O(|V1|²|V2|²) edges; compMaxCard exists
+// precisely to avoid this blow-up (Section 5). Benchmarks quantify the gap
+// (DESIGN.md ablation #3).
+
+func (in *Instance) buildProduct(injective bool) *product.Product {
+	return product.Build(in.G1, in.G2, in.Mat, in.Xi, injective, in.Reach())
+}
+
+// NaiveMaxCard approximates CPH on the explicit product graph with
+// ISRemoval.
+func (in *Instance) NaiveMaxCard() Mapping {
+	p := in.buildProduct(false)
+	return Mapping(p.MappingFromClique(p.MaxCardClique()))
+}
+
+// NaiveMaxCard11 approximates CPH1−1 on the injective product graph.
+func (in *Instance) NaiveMaxCard11() Mapping {
+	p := in.buildProduct(true)
+	return Mapping(p.MappingFromClique(p.MaxCardClique()))
+}
+
+// NaiveMaxSim approximates SPH with Halldórsson's weighted algorithm on
+// the complement of the product graph.
+func (in *Instance) NaiveMaxSim() Mapping {
+	p := in.buildProduct(false)
+	return Mapping(p.MappingFromClique(p.MaxSimClique()))
+}
+
+// NaiveMaxSim11 approximates SPH1−1.
+func (in *Instance) NaiveMaxSim11() Mapping {
+	p := in.buildProduct(true)
+	return Mapping(p.MappingFromClique(p.MaxSimClique()))
+}
+
+// ExactMaxCard computes an optimal CPH (or CPH1−1) mapping by exhaustive
+// clique search on the product graph. Exponential — use on small
+// instances only.
+func (in *Instance) ExactMaxCard(injective bool) Mapping {
+	p := in.buildProduct(injective)
+	return Mapping(p.MappingFromClique(p.ExactMaxCardClique()))
+}
+
+// ExactMaxSim computes an optimal SPH (or SPH1−1) mapping by exhaustive
+// weighted clique search on the product graph. Exponential.
+func (in *Instance) ExactMaxSim(injective bool) Mapping {
+	p := in.buildProduct(injective)
+	return Mapping(p.MappingFromClique(p.ExactMaxSimClique()))
+}
+
+// Matches reports the paper's Section 6 match convention: G1 matches G2
+// when the mapping's quality reaches the threshold (0.75 in all reported
+// experiments). The metric argument selects qualCard or qualSim.
+func Matches(in *Instance, m Mapping, metric Metric, threshold float64) bool {
+	switch metric {
+	case MetricCard:
+		return in.QualCard(m) >= threshold
+	case MetricSim:
+		return in.QualSim(m) >= threshold
+	default:
+		return false
+	}
+}
+
+// Metric selects one of the paper's two graph-similarity measures.
+type Metric int
+
+const (
+	// MetricCard is maximum cardinality: qualCard(σ) = |dom σ| / |V1|.
+	MetricCard Metric = iota
+	// MetricSim is maximum overall similarity:
+	// qualSim(σ) = Σ w(v)·mat(v,σ(v)) / Σ w(v).
+	MetricSim
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricCard:
+		return "qualCard"
+	case MetricSim:
+		return "qualSim"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// This file implements the Appendix B optimisation techniques.
+//
+// Partitioning G1: nodes with no admissible candidate can never join a
+// mapping, so they are removed; the remainder may fall apart into
+// disconnected components, and by Proposition 1 the union of per-component
+// maximum p-hom mappings is a maximum p-hom mapping for the whole graph.
+// Components shrink n, and since the guarantee log²n/n degrades as n grows
+// (beyond e²), partitioning improves both running time and match quality.
+// The proposition relies on mappings of disjoint components being freely
+// combinable, which fails for 1-1 mappings (two components might claim the
+// same data node), so the partitioned algorithms are p-hom only.
+//
+// Compressing G2+: every SCC of G2 is a clique in the closure, so it can
+// collapse into one bag-labelled node with a self-loop (graph G2* of
+// Fig. 10(b)). Matching runs against the much smaller G2* and lifts back.
+
+// remapMatrix presents a similarity matrix for an induced subgraph of G1
+// whose node IDs were renumbered.
+type remapMatrix struct {
+	base simmatrix.Matrix
+	orig []graph.NodeID // new ID in the subgraph → original ID in G1
+}
+
+func (r remapMatrix) Score(v, u graph.NodeID) float64 {
+	return r.base.Score(r.orig[v], u)
+}
+
+// partitionComponents removes unmatchable G1 nodes and returns the
+// connected components of the remaining induced subgraph, each as its own
+// sub-instance sharing this instance's G2 and closure.
+func (in *Instance) partitionComponents() []struct {
+	sub  *Instance
+	orig []graph.NodeID
+} {
+	reach := in.Reach()
+	var keep []graph.NodeID
+	for v := 0; v < in.G1.NumNodes(); v++ {
+		vv := graph.NodeID(v)
+		selfLoop := in.G1.HasEdge(vv, vv)
+		for u := 0; u < in.G2.NumNodes(); u++ {
+			uu := graph.NodeID(u)
+			if in.admissible(vv, uu) && (!selfLoop || reach.Reachable(uu, uu)) {
+				keep = append(keep, vv)
+				break
+			}
+		}
+	}
+	pruned, prunedOrig := in.G1.InducedSubgraph(keep)
+	var out []struct {
+		sub  *Instance
+		orig []graph.NodeID
+	}
+	for _, comp := range pruned.ConnectedComponents() {
+		sub, subOrig := pruned.InducedSubgraph(comp)
+		orig := make([]graph.NodeID, len(subOrig))
+		for i, p := range subOrig {
+			orig[i] = prunedOrig[p]
+		}
+		out = append(out, struct {
+			sub  *Instance
+			orig []graph.NodeID
+		}{
+			sub:  &Instance{G1: sub, G2: in.G2, Mat: remapMatrix{base: in.Mat, orig: orig}, Xi: in.Xi, reach: reach},
+			orig: orig,
+		})
+	}
+	return out
+}
+
+// bestCandidate returns the admissible u with maximal mat(v, u), or
+// Invalid when none exists.
+func (in *Instance) bestCandidate(v graph.NodeID) graph.NodeID {
+	reach := in.Reach()
+	selfLoop := in.G1.HasEdge(v, v)
+	best, bestScore := graph.Invalid, -1.0
+	for u := 0; u < in.G2.NumNodes(); u++ {
+		uu := graph.NodeID(u)
+		if !in.admissible(v, uu) {
+			continue
+		}
+		if selfLoop && !reach.Reachable(uu, uu) {
+			continue
+		}
+		if s := in.Mat.Score(v, uu); s > bestScore {
+			bestScore, best = s, uu
+		}
+	}
+	return best
+}
+
+// PartitionedMaxCard runs CompMaxCard independently per connected
+// component of the pruned pattern (Appendix B) and unions the results.
+// Singleton components take their best candidate directly.
+func (in *Instance) PartitionedMaxCard() Mapping {
+	return in.partitioned(func(sub *Instance) Mapping { return sub.CompMaxCard() })
+}
+
+// PartitionedMaxSim is the partitioned variant of CompMaxSim; qualSim is
+// additive over nodes, so Proposition 1 carries over.
+func (in *Instance) PartitionedMaxSim() Mapping {
+	return in.partitioned(func(sub *Instance) Mapping { return sub.CompMaxSim() })
+}
+
+func (in *Instance) partitioned(solve func(*Instance) Mapping) Mapping {
+	result := Mapping{}
+	for _, part := range in.partitionComponents() {
+		if part.sub.G1.NumNodes() == 1 {
+			orig := part.orig[0]
+			if u := in.bestCandidate(orig); u != graph.Invalid {
+				result[orig] = u
+			}
+			continue
+		}
+		sub := solve(part.sub)
+		for v, u := range sub {
+			result[part.orig[v]] = u
+		}
+	}
+	return result
+}
+
+// componentMatrix scores a pattern node against a compressed component as
+// the best score over the component's members.
+type componentMatrix struct {
+	base    simmatrix.Matrix
+	members [][]graph.NodeID
+}
+
+func (cm componentMatrix) Score(v, c graph.NodeID) float64 {
+	best := 0.0
+	for _, u := range cm.members[c] {
+		if s := cm.base.Score(v, u); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// CompressedMaxCard runs compMaxCard against the compressed closure G2*
+// (Appendix B, Fig. 10(b)) and lifts the component-level mapping back to
+// concrete G2 nodes. Because G2* is transitively closed, no further
+// closure computation is needed; the lift picks, for every matched pattern
+// node, the best-scoring member of its component. p-hom only — bags absorb
+// arbitrarily many pattern nodes, which a 1-1 mapping would need capacity
+// accounting for.
+func (in *Instance) CompressedMaxCard() Mapping {
+	comp := closure.Compress(in.G2)
+	cm := componentMatrix{base: in.Mat, members: comp.Members}
+	sub := &Instance{G1: in.G1, G2: comp.Star, Mat: cm, Xi: in.Xi}
+	m := sub.CompMaxCard()
+	lifted := make(Mapping, len(m))
+	for v, c := range m {
+		best, bestScore := graph.Invalid, -1.0
+		for _, u := range comp.Members[c] {
+			if !in.admissible(v, u) {
+				continue
+			}
+			if s := in.Mat.Score(v, u); s > bestScore {
+				bestScore, best = s, u
+			}
+		}
+		if best != graph.Invalid {
+			lifted[v] = best
+		}
+	}
+	return lifted
+}

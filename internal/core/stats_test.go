@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSearchStatsPopulated(t *testing.T) {
+	in := example51()
+	m, st := in.CompMaxCardStats(MatchOptions{})
+	if in.QualCard(m) != 1 {
+		t.Fatalf("qualCard = %v", in.QualCard(m))
+	}
+	if st.InitialPairs != 4 {
+		t.Errorf("InitialPairs = %d, want 4 (books×2, textbooks, abooks)", st.InitialPairs)
+	}
+	if st.GreedyCalls == 0 || st.OuterIterations == 0 || st.MaxDepth == 0 {
+		t.Errorf("counters not populated: %+v", st)
+	}
+}
+
+func TestSearchStatsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 8, 12)
+		m, st := in.CompMaxCardStats(MatchOptions{})
+		if st.MaxDepth > st.GreedyCalls {
+			return false
+		}
+		if st.ConflictPairsRemoved > st.InitialPairs {
+			return false
+		}
+		if st.AugmentedPairs < 0 || st.AugmentedPairs > len(m) {
+			return false
+		}
+		// Total pairs discarded cannot exceed pairs that existed.
+		return st.OuterIterations >= 1 || st.InitialPairs == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchStatsEmptyInstance(t *testing.T) {
+	in := randomInstance(1, 3, 3)
+	in.Xi = 1.1 // clamp is bypassed by direct assignment; no candidates
+	_, st := in.CompMaxCardStats(MatchOptions{})
+	if st.InitialPairs != 0 {
+		t.Errorf("InitialPairs = %d, want 0", st.InitialPairs)
+	}
+	if st.GreedyCalls != 0 {
+		t.Errorf("GreedyCalls = %d, want 0", st.GreedyCalls)
+	}
+}
+
+func TestPickOrderAblationBothValid(t *testing.T) {
+	f := func(seed int64) bool {
+		in := randomInstance(seed, 8, 10)
+		m1 := in.CompMaxCardOpts(MatchOptions{})
+		m2 := in.CompMaxCardOpts(MatchOptions{ArbitraryPick: true})
+		return in.CheckMapping(m1, false) == nil && in.CheckMapping(m2, false) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblations(t *testing.T) {
+	rows := RunAblations(64, 3)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 studies × 2 variants)", len(rows))
+	}
+	studies := map[string]int{}
+	for _, r := range rows {
+		studies[r.Study]++
+		if r.Seconds < 0 {
+			t.Errorf("%s/%s: negative time", r.Study, r.Variant)
+		}
+		if r.QualCard < 0 || r.QualCard > 1 {
+			t.Errorf("%s/%s: quality out of range: %v", r.Study, r.Variant, r.QualCard)
+		}
+	}
+	for _, s := range []string{"direct-vs-naive", "partition-g1", "compress-g2", "pick-order"} {
+		if studies[s] != 2 {
+			t.Errorf("study %s has %d variants, want 2", s, studies[s])
+		}
+	}
+	// On identical-copy instances, both partition variants should find
+	// full mappings.
+	for _, r := range rows {
+		if r.Study == "partition-g1" && r.QualCard != 1 {
+			t.Errorf("partition study should fully match, got %v for %s", r.QualCard, r.Variant)
+		}
+	}
+	text := FormatAblations(rows)
+	if !strings.Contains(text, "direct-vs-naive") || !strings.Contains(text, "qualCard") {
+		t.Fatalf("FormatAblations malformed:\n%s", text)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBaselines(t *testing.T) {
+	cfg := SynConfig{M: 15, Noise: 10, Xi: 0.75, NumData: 3, Seed: 4}
+	rows := RunBaselines(cfg)
+	if len(rows) != len(BaselineAlgorithms) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(BaselineAlgorithms))
+	}
+	byAlg := map[Algorithm]BaselineRow{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+		if r.Accuracy < 0 || r.Accuracy > 100 {
+			t.Errorf("%s: accuracy out of range: %v", r.Algorithm, r.Accuracy)
+		}
+		if r.Seconds < 0 {
+			t.Errorf("%s: negative time", r.Algorithm)
+		}
+	}
+	// The paper's qualitative claim at any scale: p-hom finds at least as
+	// many matches as the edge-to-edge and whole-graph baselines.
+	phom := byAlg[CompMaxCard].Accuracy
+	if byAlg[GraphSim].Accuracy > phom {
+		t.Errorf("simulation %v beats p-hom %v", byAlg[GraphSim].Accuracy, phom)
+	}
+	text := FormatBaselines(rows, cfg)
+	if !strings.Contains(text, "bagOfPaths") || !strings.Contains(text, "editDistance") {
+		t.Fatalf("FormatBaselines missing rows:\n%s", text)
+	}
+}
+
+func TestRunOneGED(t *testing.T) {
+	// Identity instance: GED similarity 1 → matched.
+	pt := RunSynthetic(SynConfig{M: 8, Noise: 0, Xi: 0.75, NumData: 1, Seed: 9,
+		Algorithms: []Algorithm{GED}})
+	if pt.Accuracy[GED] != 100 {
+		t.Fatalf("GED on noise-free copies = %v, want 100", pt.Accuracy[GED])
+	}
+}

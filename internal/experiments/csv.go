@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters so figure series can be re-plotted directly (gnuplot,
+// pandas, spreadsheets). One row per x-value; one accuracy and one time
+// column per algorithm.
+
+// WriteSeriesCSV writes a figure's series to w.
+func WriteSeriesCSV(w io.Writer, xLabel string, points []SynPoint, algs []Algorithm) error {
+	cw := csv.NewWriter(w)
+	header := []string{xLabel, "g2_min_nodes", "g2_max_nodes"}
+	for _, a := range algs {
+		header = append(header, string(a)+"_accuracy_pct", string(a)+"_seconds")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, pt := range points {
+		row := []string{
+			strconv.FormatFloat(pt.X, 'g', -1, 64),
+			strconv.Itoa(pt.MinG2Nodes),
+			strconv.Itoa(pt.MaxG2Nodes),
+		}
+		for _, a := range algs {
+			row = append(row,
+				strconv.FormatFloat(pt.Accuracy[a], 'f', 1, 64),
+				strconv.FormatFloat(pt.Seconds[a], 'f', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV writes the Table 3 cells to w: one row per (algorithm,
+// skeleton set, site).
+func WriteTable3CSV(w io.Writer, res *Table3Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "skeleton_set", "site", "accuracy_pct", "seconds", "na"}); err != nil {
+		return err
+	}
+	for _, alg := range Table3Algorithms {
+		cells := res.Cells[alg]
+		for skSet := 0; skSet < 2; skSet++ {
+			for si := 0; si < 3; si++ {
+				c := cells[skSet][si]
+				row := []string{
+					string(alg),
+					fmt.Sprintf("skeletons%d", skSet+1),
+					fmt.Sprintf("site%d", si+1),
+					strconv.FormatFloat(c.Accuracy, 'f', 1, 64),
+					strconv.FormatFloat(c.Seconds, 'f', 6, 64),
+					strconv.FormatBool(c.NA),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	pts := []SynPoint{
+		{
+			X:          100,
+			Accuracy:   map[Algorithm]float64{CompMaxCard: 87.5},
+			Seconds:    map[Algorithm]float64{CompMaxCard: 0.125},
+			MinG2Nodes: 200, MaxG2Nodes: 300,
+		},
+	}
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, "m", pts, []Algorithm{CompMaxCard}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("rows = %d, want 2", len(records))
+	}
+	if records[0][0] != "m" || records[0][3] != "compMaxCard_accuracy_pct" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][0] != "100" || records[1][3] != "87.5" {
+		t.Fatalf("row = %v", records[1])
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	cfg := WebConfig{Pages: [3]int{300, 250, 250}, Versions: 2, Seed: 6, MCSBudget: 50 * time.Millisecond}
+	sites := GenerateSites(cfg)
+	res := Table3(sites, cfg)
+	var b strings.Builder
+	if err := WriteTable3CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 6 algorithms × 2 skeleton sets × 3 sites.
+	if want := 1 + len(Table3Algorithms)*6; len(records) != want {
+		t.Fatalf("rows = %d, want %d", len(records), want)
+	}
+}

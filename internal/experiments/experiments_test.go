@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graphmatch/internal/core"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// smallWebConfig keeps the Exp-1 reproduction fast enough for unit tests.
+func smallWebConfig() WebConfig {
+	return WebConfig{
+		Pages:     [3]int{600, 400, 400},
+		Versions:  4,
+		Seed:      42,
+		MCSBudget: 200 * time.Millisecond,
+	}
+}
+
+func TestGenerateSitesShape(t *testing.T) {
+	sites := GenerateSites(smallWebConfig())
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d, want 3", len(sites))
+	}
+	for _, s := range sites {
+		if len(s.Versions) != 4 || len(s.Sk1) != 4 || len(s.Sk2) != 4 {
+			t.Fatalf("%s: versions/sk lengths wrong", s.Name)
+		}
+		for _, sk := range s.Sk2 {
+			if sk.NumNodes() > 20 {
+				t.Fatalf("%s: top-20 skeleton has %d nodes", s.Name, sk.NumNodes())
+			}
+		}
+		for _, sk := range s.Sk1 {
+			if sk.NumNodes() == 0 {
+				t.Fatalf("%s: empty α-skeleton", s.Name)
+			}
+		}
+	}
+}
+
+func TestTable2Stats(t *testing.T) {
+	sites := GenerateSites(smallWebConfig())
+	rows := Table2(sites)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes == 0 || r.Edges == 0 || r.AvgDeg <= 0 || r.MaxDeg == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Sk1Nodes == 0 || r.Sk2Nodes == 0 {
+			t.Fatalf("empty skeletons in %+v", r)
+		}
+		if r.Sk1Nodes >= r.Nodes {
+			t.Fatalf("skeleton not smaller than site: %+v", r)
+		}
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "site 1") || !strings.Contains(text, "sk1 nodes") {
+		t.Fatalf("FormatTable2 output malformed:\n%s", text)
+	}
+}
+
+func TestRunOneAlgorithms(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := g1.Clone()
+	in := core.NewInstance(g1, g2, simmatrix.NewLabelEquality(g1, g2), 0.75)
+	for _, alg := range []Algorithm{CompMaxCard, CompMaxCard11, CompMaxSim, CompMaxSim11, SF, Blondel, CDKMCS, GraphSim, BagOfPaths, GED} {
+		out := RunOne(alg, in, time.Second, 0.75)
+		if out.NA {
+			t.Errorf("%s: unexpected N/A", alg)
+			continue
+		}
+		if !out.Matched {
+			t.Errorf("%s: identical graphs should match (quality %v)", alg, out.Quality)
+		}
+	}
+}
+
+func TestRunOneUnknownAlgorithm(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a"}, nil)
+	in := core.NewInstance(g, g, simmatrix.NewLabelEquality(g, g), 0.5)
+	out := RunOne(Algorithm("bogus"), in, 0, 0.75)
+	if out.Matched {
+		t.Fatal("unknown algorithm should not match")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(Outcome{Matched: true, Elapsed: time.Second})
+	a.Add(Outcome{Matched: false, Elapsed: 3 * time.Second})
+	if got := a.AccuracyPercent(); got != 50 {
+		t.Fatalf("accuracy = %v, want 50", got)
+	}
+	if got := a.MeanSeconds(); got != 2 {
+		t.Fatalf("mean seconds = %v, want 2", got)
+	}
+	if a.AllNA() {
+		t.Fatal("AllNA should be false")
+	}
+	var na Aggregate
+	na.Add(Outcome{NA: true})
+	if !na.AllNA() {
+		t.Fatal("AllNA should be true")
+	}
+	var empty Aggregate
+	if empty.AccuracyPercent() != 0 || empty.MeanSeconds() != 0 {
+		t.Fatal("empty aggregate should report zeros")
+	}
+}
+
+func TestTable3SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 3 run is slow")
+	}
+	cfg := smallWebConfig()
+	sites := GenerateSites(cfg)
+	res := Table3(sites, cfg)
+	if res.Runs != 3 {
+		t.Fatalf("runs per cell = %d, want 3", res.Runs)
+	}
+	// The paper's headline shapes, scaled down:
+	// (1) our algorithms find matches on the low-churn organization site.
+	orgAcc := res.Cells[CompMaxCard][0][1].Accuracy
+	if orgAcc < 50 {
+		t.Errorf("compMaxCard accuracy on site 2 = %v, want ≥ 50", orgAcc)
+	}
+	// (2) p-hom accuracy ≥ 1-1 p-hom accuracy on every cell.
+	for sk := 0; sk < 2; sk++ {
+		for si := 0; si < 3; si++ {
+			if res.Cells[CompMaxCard][sk][si].Accuracy < res.Cells[CompMaxCard11][sk][si].Accuracy {
+				t.Errorf("1-1 beats plain p-hom at sk%d site%d", sk+1, si+1)
+			}
+		}
+	}
+	text := FormatTable3(res)
+	if !strings.Contains(text, "compMaxCard") || !strings.Contains(text, "Accuracy") {
+		t.Fatalf("FormatTable3 malformed:\n%s", text)
+	}
+}
+
+func TestRunSyntheticPoint(t *testing.T) {
+	pt := RunSynthetic(SynConfig{M: 30, Noise: 10, Xi: 0.75, NumData: 4, Seed: 7})
+	for _, alg := range OurAlgorithms {
+		if _, ok := pt.Accuracy[alg]; !ok {
+			t.Fatalf("missing accuracy for %s", alg)
+		}
+		if pt.Seconds[alg] < 0 {
+			t.Fatalf("negative time for %s", alg)
+		}
+	}
+	if pt.MinG2Nodes < 30 || pt.MaxG2Nodes < pt.MinG2Nodes {
+		t.Fatalf("G2 size range wrong: [%d, %d]", pt.MinG2Nodes, pt.MaxG2Nodes)
+	}
+	// Ground truth guarantees a full mapping exists; at low noise the
+	// approximations should find matches for most data graphs.
+	if pt.Accuracy[CompMaxCard] < 50 {
+		t.Errorf("compMaxCard accuracy = %v, want ≥ 50", pt.Accuracy[CompMaxCard])
+	}
+}
+
+func TestSweepsProduceSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	size := SweepSize([]int{20, 40}, 3, 3)
+	if len(size) != 2 || size[0].X != 20 || size[1].X != 40 {
+		t.Fatalf("size sweep malformed: %+v", size)
+	}
+	noise := SweepNoise(30, []float64{5, 15}, 3, 3)
+	if len(noise) != 2 || noise[0].X != 5 {
+		t.Fatalf("noise sweep malformed")
+	}
+	xi := SweepXi(30, []float64{0.5, 0.9}, 3, 3)
+	if len(xi) != 2 || xi[1].X != 0.9 {
+		t.Fatalf("xi sweep malformed")
+	}
+	text := FormatSeries("Fig 5(a)", "m", size, OurAlgorithms, false)
+	if !strings.Contains(text, "Fig 5(a)") || !strings.Contains(text, "compMaxSim") {
+		t.Fatalf("FormatSeries malformed:\n%s", text)
+	}
+}
+
+func TestGraphSimulationFindsNoMatchOnNoisyData(t *testing.T) {
+	// The paper's Exp-2 observation: graphSimulation finds 0% matches on
+	// noisy synthetic data because edges stretch into paths.
+	pt := RunSynthetic(SynConfig{
+		M: 40, Noise: 20, Xi: 0.75, NumData: 5, Seed: 11,
+		Algorithms: []Algorithm{GraphSim, CompMaxCard},
+	})
+	if pt.Accuracy[GraphSim] > pt.Accuracy[CompMaxCard] {
+		t.Errorf("simulation (%v) should not beat p-hom (%v) on noisy data",
+			pt.Accuracy[GraphSim], pt.Accuracy[CompMaxCard])
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rendering helpers producing the same rows the paper reports, as aligned
+// plain text suitable for terminals and EXPERIMENTS.md.
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %8s | %9s %9s | %9s %9s\n",
+		"Site", "nodes", "edges", "avgDeg", "maxDeg", "sk1 nodes", "sk1 edges", "sk2 nodes", "sk2 edges")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %10d %8.2f %8d | %9d %9d | %9d %9d\n",
+			r.Site, r.Nodes, r.Edges, r.AvgDeg, r.MaxDeg,
+			r.Sk1Nodes, r.Sk1Edges, r.Sk2Nodes, r.Sk2Edges)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3: accuracy and scalability per algorithm,
+// skeleton set and site, plus the graph-simulation observation.
+func FormatTable3(res *Table3Result) string {
+	var b strings.Builder
+	cell := func(c Table3Cell, acc bool) string {
+		if c.NA {
+			return "N/A"
+		}
+		if acc {
+			return fmt.Sprintf("%.0f", c.Accuracy)
+		}
+		return fmt.Sprintf("%.3f", c.Seconds)
+	}
+	sections := []struct {
+		title string
+		acc   bool
+	}{
+		{"Accuracy (%)", true},
+		{"Scalability (seconds)", false},
+	}
+	for _, sec := range sections {
+		acc := sec.acc
+		fmt.Fprintf(&b, "%s\n", sec.title)
+		fmt.Fprintf(&b, "%-16s %28s   %28s\n", "", "Skeletons 1 (alpha=0.2)", "Skeletons 2 (top-20)")
+		fmt.Fprintf(&b, "%-16s %8s %9s %9s   %8s %9s %9s\n",
+			"Algorithm", "site 1", "site 2", "site 3", "site 1", "site 2", "site 3")
+		for _, alg := range Table3Algorithms {
+			cells := res.Cells[alg]
+			fmt.Fprintf(&b, "%-16s %8s %9s %9s   %8s %9s %9s\n", alg,
+				cell(cells[0][0], acc), cell(cells[0][1], acc), cell(cells[0][2], acc),
+				cell(cells[1][0], acc), cell(cells[1][1], acc), cell(cells[1][2], acc))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "graphSimulation matches (of %d runs per cell): sk1 %v, sk2 %v\n",
+		res.Runs, res.SimulationMatches[0], res.SimulationMatches[1])
+	return b.String()
+}
+
+// FormatSeries renders one figure's series: a row per x-value, a column
+// per algorithm. The value selector picks accuracy or seconds.
+func FormatSeries(title, xLabel string, points []SynPoint, algs []Algorithm, seconds bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", xLabel)
+	for _, alg := range algs {
+		fmt.Fprintf(&b, " %16s", alg)
+	}
+	fmt.Fprintf(&b, " %14s\n", "|V2| range")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-12g", pt.X)
+		for _, alg := range algs {
+			if seconds {
+				fmt.Fprintf(&b, " %16.3f", pt.Seconds[alg])
+			} else {
+				fmt.Fprintf(&b, " %16.0f", pt.Accuracy[alg])
+			}
+		}
+		fmt.Fprintf(&b, "     [%d, %d]\n", pt.MinG2Nodes, pt.MaxG2Nodes)
+	}
+	return b.String()
+}

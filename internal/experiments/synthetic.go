@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"graphmatch/internal/core"
+	"graphmatch/internal/syngen"
+)
+
+// SynConfig parameterises one point of the Exp-2 reproduction (Figures 5
+// and 6): a pattern size m, a noise rate and a similarity threshold ξ.
+type SynConfig struct {
+	M        int
+	Noise    float64 // percent
+	Xi       float64
+	NumData  int // candidate data graphs per point (paper: 15)
+	MatchBar float64
+	Seed     int64
+	// Algorithms to run; nil means the paper's four plus graphSimulation.
+	Algorithms []Algorithm
+}
+
+func (c SynConfig) withDefaults() SynConfig {
+	if c.NumData == 0 {
+		c.NumData = 15
+	}
+	if c.Xi == 0 {
+		c.Xi = 0.75
+	}
+	if c.MatchBar == 0 {
+		c.MatchBar = 0.75
+	}
+	if c.Algorithms == nil {
+		c.Algorithms = append(append([]Algorithm{}, OurAlgorithms...), GraphSim)
+	}
+	return c
+}
+
+// SynPoint is one x-position of a figure: per-algorithm accuracy and mean
+// running time, plus the data-graph size range the paper annotates. NA
+// marks algorithms whose every run failed to complete (cdkMCS or GED
+// beyond budget).
+type SynPoint struct {
+	X          float64
+	Accuracy   map[Algorithm]float64
+	Seconds    map[Algorithm]float64
+	NA         map[Algorithm]bool
+	MinG2Nodes int
+	MaxG2Nodes int
+}
+
+// RunSynthetic evaluates one configuration point.
+func RunSynthetic(cfg SynConfig) SynPoint {
+	cfg = cfg.withDefaults()
+	w := syngen.Generate(syngen.Config{
+		M:            cfg.M,
+		NoisePercent: cfg.Noise,
+		NumData:      cfg.NumData,
+		Seed:         cfg.Seed,
+	})
+	aggs := make(map[Algorithm]*Aggregate, len(cfg.Algorithms))
+	for _, alg := range cfg.Algorithms {
+		aggs[alg] = &Aggregate{}
+	}
+	pt := SynPoint{
+		Accuracy:   make(map[Algorithm]float64),
+		Seconds:    make(map[Algorithm]float64),
+		NA:         make(map[Algorithm]bool),
+		MinG2Nodes: 1 << 30,
+	}
+	for _, g2 := range w.G2s {
+		if n := g2.NumNodes(); n < pt.MinG2Nodes {
+			pt.MinG2Nodes = n
+		}
+		if n := g2.NumNodes(); n > pt.MaxG2Nodes {
+			pt.MaxG2Nodes = n
+		}
+		in := core.NewInstance(w.G1, g2, w.Matrix(g2), cfg.Xi)
+		for _, alg := range cfg.Algorithms {
+			aggs[alg].Add(RunOne(alg, in, 0, cfg.MatchBar))
+		}
+	}
+	for _, alg := range cfg.Algorithms {
+		pt.Accuracy[alg] = aggs[alg].AccuracyPercent()
+		pt.Seconds[alg] = aggs[alg].MeanSeconds()
+		pt.NA[alg] = aggs[alg].AllNA()
+	}
+	return pt
+}
+
+// Figure sweeps reproduce the series of Figs. 5 and 6. Each returns one
+// SynPoint per x-value; accuracy series correspond to Fig. 5 and time
+// series to Fig. 6 of the same letter.
+
+// SweepSize is Figs. 5(a)/6(a): vary m, fixing noise = 10 % and ξ = 0.75.
+func SweepSize(ms []int, seed int64, numData int) []SynPoint {
+	var out []SynPoint
+	for _, m := range ms {
+		pt := RunSynthetic(SynConfig{M: m, Noise: 10, Xi: 0.75, Seed: seed + int64(m), NumData: numData})
+		pt.X = float64(m)
+		out = append(out, pt)
+	}
+	return out
+}
+
+// SweepNoise is Figs. 5(b)/6(b): vary noise %, fixing m = 500 (scaled via
+// the m argument) and ξ = 0.75.
+func SweepNoise(m int, noises []float64, seed int64, numData int) []SynPoint {
+	var out []SynPoint
+	for _, noise := range noises {
+		pt := RunSynthetic(SynConfig{M: m, Noise: noise, Xi: 0.75, Seed: seed + int64(noise*10), NumData: numData})
+		pt.X = noise
+		out = append(out, pt)
+	}
+	return out
+}
+
+// SweepXi is Figs. 5(c)/6(c): vary ξ, fixing m and noise = 10 %.
+func SweepXi(m int, xis []float64, seed int64, numData int) []SynPoint {
+	var out []SynPoint
+	for _, xi := range xis {
+		pt := RunSynthetic(SynConfig{M: m, Noise: 10, Xi: xi, Seed: seed, NumData: numData})
+		pt.X = xi
+		out = append(out, pt)
+	}
+	return out
+}

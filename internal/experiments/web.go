@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"time"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/webgen"
+)
+
+// WebConfig parameterises the Exp-1 reproduction (Tables 2 and 3).
+type WebConfig struct {
+	// Pages scales the three sites (store, organization, newspaper); zero
+	// entries use the category defaults.
+	Pages [3]int
+	// Versions per archive (default 11, as in the paper).
+	Versions int
+	// Alpha is the skeleton-1 degree coefficient (paper: 0.2).
+	Alpha float64
+	// TopK is the skeleton-2 size (paper: 20).
+	TopK int
+	// Xi is the node-similarity threshold (paper: 0.75).
+	Xi float64
+	// MatchBar is the quality threshold for "G1 matches G2" (paper: 0.75).
+	MatchBar float64
+	// MCSBudget bounds each cdkMCS run; beyond it the run counts as N/A.
+	MCSBudget time.Duration
+	// Seed drives the generators.
+	Seed int64
+}
+
+func (c WebConfig) withDefaults() WebConfig {
+	if c.Versions == 0 {
+		c.Versions = 11
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.2
+	}
+	if c.TopK == 0 {
+		c.TopK = 20
+	}
+	if c.Xi == 0 {
+		c.Xi = 0.75
+	}
+	if c.MatchBar == 0 {
+		c.MatchBar = 0.75
+	}
+	if c.MCSBudget == 0 {
+		c.MCSBudget = 3 * time.Second
+	}
+	return c
+}
+
+// SiteData bundles one site's archive and both skeleton sequences.
+type SiteData struct {
+	Name     string
+	Category webgen.Category
+	Versions []*graph.Graph
+	Sk1      []*graph.Graph // α-degree skeletons, one per version
+	Sk2      []*graph.Graph // top-K skeletons, one per version
+}
+
+// GenerateSites builds the three site archives with their skeletons.
+func GenerateSites(cfg WebConfig) []*SiteData {
+	cfg = cfg.withDefaults()
+	cats := []webgen.Category{webgen.Store, webgen.Organization, webgen.Newspaper}
+	names := []string{"site 1", "site 2", "site 3"}
+	var sites []*SiteData
+	for i, cat := range cats {
+		arch := webgen.Generate(webgen.Config{
+			Category: cat,
+			Pages:    cfg.Pages[i],
+			Versions: cfg.Versions,
+			Seed:     cfg.Seed + int64(i)*1000,
+		})
+		sd := &SiteData{Name: names[i], Category: cat, Versions: arch.Versions}
+		for _, g := range arch.Versions {
+			sd.Sk1 = append(sd.Sk1, webgen.Skeleton(g, cfg.Alpha))
+			sd.Sk2 = append(sd.Sk2, webgen.TopKSkeleton(g, cfg.TopK))
+		}
+		sites = append(sites, sd)
+	}
+	return sites
+}
+
+// Table2Row reports one site's statistics in the layout of Table 2.
+type Table2Row struct {
+	Site               string
+	Nodes, Edges       int
+	AvgDeg             float64
+	MaxDeg             int
+	Sk1Nodes, Sk1Edges int
+	Sk2Nodes, Sk2Edges int
+}
+
+// Table2 computes the data-set statistics of Table 2 from the oldest
+// version of each site.
+func Table2(sites []*SiteData) []Table2Row {
+	var rows []Table2Row
+	for _, s := range sites {
+		g := s.Versions[0]
+		st := graph.ComputeStats(g)
+		sk1 := graph.ComputeStats(s.Sk1[0])
+		sk2 := graph.ComputeStats(s.Sk2[0])
+		rows = append(rows, Table2Row{
+			Site:     s.Name,
+			Nodes:    st.Nodes,
+			Edges:    st.Edges,
+			AvgDeg:   st.AvgDeg,
+			MaxDeg:   st.MaxDeg,
+			Sk1Nodes: sk1.Nodes,
+			Sk1Edges: sk1.Edges,
+			Sk2Nodes: sk2.Nodes,
+			Sk2Edges: sk2.Edges,
+		})
+	}
+	return rows
+}
+
+// Table3Cell is one (algorithm, skeleton set, site) entry: accuracy in
+// percent and mean seconds, or N/A.
+type Table3Cell struct {
+	Accuracy float64
+	Seconds  float64
+	NA       bool
+}
+
+// Table3Result holds the full table plus the graph-simulation side
+// observation the paper reports in prose ("graph simulation did not find
+// matches in almost all the cases").
+type Table3Result struct {
+	// Cells[alg][skeletonSet][site]: skeletonSet 0 = skeletons 1 (α),
+	// skeletonSet 1 = skeletons 2 (top-K); site indexes sites 1–3.
+	Cells map[Algorithm][2][3]Table3Cell
+	// SimulationMatches counts graph-simulation matches per skeleton set
+	// and site, out of Runs.
+	SimulationMatches [2][3]int
+	Runs              int
+}
+
+// Table3Algorithms is the row order of Table 3.
+var Table3Algorithms = []Algorithm{CompMaxCard, CompMaxCard11, CompMaxSim, CompMaxSim11, SF, CDKMCS}
+
+// Table3 reproduces the accuracy/scalability experiment: the oldest
+// version's skeleton is the pattern, each of the later versions must be
+// matched back to it.
+func Table3(sites []*SiteData, cfg WebConfig) *Table3Result {
+	cfg = cfg.withDefaults()
+	res := &Table3Result{Cells: make(map[Algorithm][2][3]Table3Cell)}
+	aggs := make(map[Algorithm]*[2][3]Aggregate)
+	for _, alg := range Table3Algorithms {
+		aggs[alg] = &[2][3]Aggregate{}
+	}
+	for si, site := range sites {
+		for skSet, sks := range [][]*graph.Graph{site.Sk1, site.Sk2} {
+			pattern := sks[0]
+			for _, data := range sks[1:] {
+				in := contentInstance(pattern, data, cfg.Xi)
+				for _, alg := range Table3Algorithms {
+					aggs[alg][skSet][si].Add(RunOne(alg, in, cfg.MCSBudget, cfg.MatchBar))
+				}
+				if RunOne(GraphSim, in, 0, cfg.MatchBar).Matched {
+					res.SimulationMatches[skSet][si]++
+				}
+			}
+			res.Runs = len(sks) - 1
+		}
+	}
+	for _, alg := range Table3Algorithms {
+		var cells [2][3]Table3Cell
+		for skSet := 0; skSet < 2; skSet++ {
+			for si := 0; si < 3 && si < len(sites); si++ {
+				a := aggs[alg][skSet][si]
+				cells[skSet][si] = Table3Cell{
+					Accuracy: a.AccuracyPercent(),
+					Seconds:  a.MeanSeconds(),
+					NA:       a.AllNA(),
+				}
+			}
+		}
+		res.Cells[alg] = cells
+	}
+	return res
+}

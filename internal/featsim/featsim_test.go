@@ -1,0 +1,95 @@
+package featsim
+
+import (
+	"testing"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/syngen"
+)
+
+func TestIdenticalGraphsScoreOne(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	if got := Similarity(g, g); got < 0.999 {
+		t.Fatalf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestDisjointLabelsScoreZero(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"x", "y"}, [][2]int{{0, 1}})
+	if got := Similarity(g1, g2); got != 0 {
+		t.Fatalf("disjoint similarity = %v, want 0", got)
+	}
+}
+
+func TestExtractCountsPaths(t *testing.T) {
+	// Chain a→b→c with pathLen 2: paths a/b/c, b/c, c — one per start.
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	bag := Extract(g, 2, 0)
+	if len(bag) != 3 {
+		t.Fatalf("distinct paths = %d, want 3 (%v)", len(bag), bag)
+	}
+}
+
+func TestExtractBudgetCap(t *testing.T) {
+	// Complete-ish graph explodes in walks; the cap must bound work.
+	n := 12
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("x")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+	g.Finish()
+	bag := Extract(g, 5, 50)
+	total := 0.0
+	for _, c := range bag {
+		total += c
+	}
+	if total > float64(n*50) {
+		t.Fatalf("cap breached: %v paths charged", total)
+	}
+}
+
+func TestEmptyBags(t *testing.T) {
+	if Cosine(Bag{}, Bag{}) != 1 {
+		t.Error("two empty bags should score 1")
+	}
+	if Cosine(Bag{1: 1}, Bag{}) != 0 {
+		t.Error("empty vs nonempty should score 0")
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	a := Bag{1: 2, 2: 1}
+	b := Bag{1: 1, 3: 4}
+	got := Cosine(a, b)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("partial overlap cosine = %v, want (0,1)", got)
+	}
+	if Cosine(a, b) != Cosine(b, a) {
+		t.Error("cosine must be symmetric")
+	}
+}
+
+func TestPathStretchingDegradesFeatureSimilarity(t *testing.T) {
+	// The paper's point: edge→path noise rewrites the path bag, so the
+	// feature-based score collapses while p-hom still matches (see
+	// integration tests). High noise must score the derived graph lower
+	// than a noise-free copy.
+	clean := syngen.Generate(syngen.Config{M: 40, NoisePercent: 0, NumData: 1, Seed: 5})
+	noisy := syngen.Generate(syngen.Config{M: 40, NoisePercent: 40, NumData: 1, Seed: 5})
+	simClean := Similarity(clean.G1, clean.G2s[0])
+	simNoisy := Similarity(noisy.G1, noisy.G2s[0])
+	if simClean < 0.999 {
+		t.Fatalf("noise-free copy similarity = %v, want 1", simClean)
+	}
+	if simNoisy >= simClean {
+		t.Fatalf("noise should reduce feature similarity: %v >= %v", simNoisy, simClean)
+	}
+}

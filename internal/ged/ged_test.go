@@ -1,0 +1,172 @@
+package ged
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphmatch/internal/graph"
+)
+
+func dist(t *testing.T, g1, g2 *graph.Graph) float64 {
+	t.Helper()
+	d, err := Distance(g1, g2, Options{})
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	return d
+}
+
+func TestIdenticalGraphsZero(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	if d := dist(t, g, g); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestSingleRelabel(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"a", "x"}, [][2]int{{0, 1}})
+	if d := dist(t, g1, g2); d != 1 {
+		t.Fatalf("relabel distance = %v, want 1", d)
+	}
+}
+
+func TestSingleEdgeEdit(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"a", "b"}, nil)
+	if d := dist(t, g1, g2); d != 1 {
+		t.Fatalf("edge deletion distance = %v, want 1", d)
+	}
+	// Reverse direction: insertion.
+	if d := dist(t, g2, g1); d != 1 {
+		t.Fatalf("edge insertion distance = %v, want 1", d)
+	}
+}
+
+func TestNodeInsertion(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a"}, nil)
+	g2 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	// Insert node b (1) and edge (1): distance 2.
+	if d := dist(t, g1, g2); d != 2 {
+		t.Fatalf("distance = %v, want 2", d)
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	e := graph.New(0)
+	if d := dist(t, e, e); d != 0 {
+		t.Fatalf("empty distance = %v", d)
+	}
+	g := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	if d := dist(t, e, g); d != 3 { // 2 node ins + 1 edge ins
+		t.Fatalf("empty→g distance = %v, want 3", d)
+	}
+	if d := dist(t, g, e); d != 3 { // 2 node del + 1 edge del
+		t.Fatalf("g→empty distance = %v, want 3", d)
+	}
+}
+
+func TestSelfLoopAgreement(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a"}, [][2]int{{0, 0}})
+	g2 := graph.FromEdgeList([]string{"a"}, nil)
+	if d := dist(t, g1, g2); d != 1 {
+		t.Fatalf("self-loop removal distance = %v, want 1", d)
+	}
+}
+
+func TestSymmetryProperty(t *testing.T) {
+	// With symmetric costs, GED is symmetric.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := []string{"a", "b"}
+		mk := func(n int) *graph.Graph {
+			g := graph.New(n)
+			for i := 0; i < n; i++ {
+				g.AddNode(labels[rng.Intn(2)])
+			}
+			for i := 0; i < n; i++ {
+				g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+			}
+			g.Finish()
+			return g
+		}
+		g1, g2 := mk(3+rng.Intn(3)), mk(3+rng.Intn(3))
+		d12, err1 := Distance(g1, g2, Options{})
+		d21, err2 := Distance(g2, g1, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d12 == d21
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalitySpot(t *testing.T) {
+	a := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	b := graph.FromEdgeList([]string{"a", "x"}, [][2]int{{0, 1}})
+	c := graph.FromEdgeList([]string{"y", "x"}, [][2]int{{0, 1}})
+	dab, dbc, dac := dist(t, a, b), dist(t, b, c), dist(t, a, c)
+	if dac > dab+dbc {
+		t.Fatalf("triangle inequality violated: %v > %v + %v", dac, dab, dbc)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *graph.Graph {
+		g := graph.New(12)
+		for i := 0; i < 12; i++ {
+			g.AddNode("same")
+		}
+		for i := 0; i < 30; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(12)), graph.NodeID(rng.Intn(12)))
+		}
+		g.Finish()
+		return g
+	}
+	_, err := Distance(mk(), mk(), Options{Budget: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	s, err := Similarity(g1, g2, Options{})
+	if err != nil || s != 1 {
+		t.Fatalf("self similarity = %v (%v), want 1", s, err)
+	}
+	g3 := graph.FromEdgeList([]string{"x", "y"}, nil)
+	s2, err := Similarity(g1, g3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 >= s || s2 < 0 {
+		t.Fatalf("dissimilar graphs score %v, want in [0, 1)", s2)
+	}
+	e := graph.New(0)
+	se, err := Similarity(e, e, Options{})
+	if err != nil || se != 1 {
+		t.Fatalf("empty similarity = %v (%v), want 1", se, err)
+	}
+}
+
+func TestDistanceLowerBoundOnBudget(t *testing.T) {
+	// The value returned with ErrBudget must not exceed the true
+	// distance.
+	g1 := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	g2 := graph.FromEdgeList([]string{"a", "b", "x"}, [][2]int{{0, 1}})
+	exact := dist(t, g1, g2)
+	bound, err := Distance(g1, g2, Options{Budget: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Skip("search finished within one expansion")
+	}
+	if bound > exact {
+		t.Fatalf("budget bound %v exceeds exact %v", bound, exact)
+	}
+}

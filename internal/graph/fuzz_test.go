@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJSONRoundTrip feeds arbitrary bytes into the JSON decoder; inputs
+// that decode must re-encode and decode to an equal graph, and no input
+// may panic. The seed corpus runs under plain `go test`; use
+// `go test -fuzz=FuzzJSONRoundTrip ./internal/graph` for a real campaign.
+func FuzzJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"label":"a"},{"label":"b"}],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"label":"x","weight":2.5,"content":"text"}],"edges":[[0,0]]}`))
+	f.Add([]byte(`{"nodes":[{"label":"a"}],"edges":[[0,9]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"nodes":[{"label":"a"}],"edges":[[-1,0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New(0)
+		if err := g.UnmarshalJSON(data); err != nil {
+			return // invalid inputs may fail, but must not panic
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed on accepted input: %v", err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !Equal(g, g2) {
+			t.Fatalf("round trip changed the graph: %s vs %s", g, g2)
+		}
+	})
+}
+
+// FuzzFromEdgeList checks the panic contract: edges inside the label
+// range build a well-formed graph whose adjacency is consistent.
+func FuzzFromEdgeList(f *testing.F) {
+	f.Add(3, 0, 1, 1, 2)
+	f.Add(1, 0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, n, a1, b1, a2, b2 int) {
+		if n <= 0 || n > 64 {
+			return
+		}
+		norm := func(x int) int {
+			x %= n
+			if x < 0 {
+				x += n
+			}
+			return x
+		}
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = "l"
+		}
+		g := FromEdgeList(labels, [][2]int{
+			{norm(a1), norm(b1)},
+			{norm(a2), norm(b2)},
+		})
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		g.Edges(func(from, to NodeID) bool {
+			found := false
+			for _, p := range g.Prev(to) {
+				if p == from {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency inconsistent for (%d,%d)", from, to)
+			}
+			return true
+		})
+	})
+}

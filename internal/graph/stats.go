@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarises the degree structure of a graph in the terms used by
+// Table 2 of the paper: node and edge counts, average degree avgDeg(G) and
+// maximum degree maxDeg(G). Degrees are total degrees (in + out), matching
+// the skeleton-extraction rule of Section 6.
+type Stats struct {
+	Nodes   int
+	Edges   int
+	AvgDeg  float64
+	MaxDeg  int
+	MinDeg  int
+	Density float64 // |E| / (|V|·(|V|−1)); 0 for graphs with < 2 nodes
+}
+
+// ComputeStats derives degree statistics for g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	s := Stats{Nodes: n, Edges: m}
+	if n == 0 {
+		return s
+	}
+	s.MinDeg = g.Degree(0)
+	total := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(NodeID(v))
+		total += d
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+		if d < s.MinDeg {
+			s.MinDeg = d
+		}
+	}
+	s.AvgDeg = float64(total) / float64(n)
+	if n > 1 {
+		s.Density = float64(m) / float64(n*(n-1))
+	}
+	return s
+}
+
+// String formats the statistics in Table 2 style.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d avgDeg=%.2f maxDeg=%d", s.Nodes, s.Edges, s.AvgDeg, s.MaxDeg)
+}
+
+// TopKByDegree returns the k nodes with the highest total degree, ties
+// broken by smaller ID (so results are deterministic). This is the
+// "top 20 nodes with the highest degree" skeleton rule used to favour
+// cdkMCS in the paper's Exp-1.
+func TopKByDegree(g *Graph, k int) []NodeID {
+	n := g.NumNodes()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > n {
+		k = n
+	}
+	keep := append([]NodeID(nil), ids[:k]...)
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	return keep
+}
+
+// DegreeSkeleton returns the nodes satisfying the paper's skeleton rule
+// deg(v) ≥ avgDeg(G) + α·maxDeg(G) (Section 6, "Skeletons"). The returned
+// IDs are sorted.
+func DegreeSkeleton(g *Graph, alpha float64) []NodeID {
+	st := ComputeStats(g)
+	threshold := st.AvgDeg + alpha*float64(st.MaxDeg)
+	var keep []NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		if float64(g.Degree(NodeID(v))) >= threshold {
+			keep = append(keep, NodeID(v))
+		}
+	}
+	return keep
+}

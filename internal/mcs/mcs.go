@@ -1,0 +1,172 @@
+// Package mcs computes maximum common subgraphs — the repository's
+// stand-in for the CDK cdkMCS baseline of Section 6 [1]. The paper uses
+// MCS both as a comparison point (Table 3) and as the special case of
+// CPH1−1 it generalises (Section 3.3: "the familiar maximum common
+// subgraph problem is a special case of CPH1−1").
+//
+// The solver reduces MCS to maximum clique on the modular product of the
+// two graphs (pairs of similar nodes; two pairs are adjacent when their
+// pattern and data sides agree on edges in both directions) and explores
+// it with Bron–Kerbosch branch and bound under a wall-clock budget.
+// Exactly like the original cdkMCS, it fails to complete on graphs beyond
+// a few dozen nodes — Table 3 reports that as N/A, and the experiment
+// harness reproduces the behaviour through ErrDeadline.
+package mcs
+
+import (
+	"errors"
+	"time"
+
+	"graphmatch/internal/bitset"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// ErrDeadline reports that the search exceeded its time budget before
+// proving optimality. The best clique found so far is still returned.
+var ErrDeadline = errors.New("mcs: time budget exhausted")
+
+// Result is a common-subgraph correspondence between G1 and G2.
+type Result struct {
+	// Mapping pairs G1 nodes with G2 nodes; it is injective and
+	// edge-preserving in both directions (an induced common subgraph).
+	Mapping map[graph.NodeID]graph.NodeID
+	// Complete reports whether the search proved optimality.
+	Complete bool
+}
+
+// Cardinality reports the number of matched nodes.
+func (r *Result) Cardinality() int { return len(r.Mapping) }
+
+// Options configures the search.
+type Options struct {
+	// Budget bounds the wall-clock search time; zero means no limit.
+	Budget time.Duration
+	// Xi is the node-similarity threshold for pairing nodes (label
+	// equality corresponds to a LabelEquality matrix with Xi ≤ 1).
+	Xi float64
+}
+
+// Find computes a maximum common induced subgraph of g1 and g2 under the
+// node-similarity constraint mat(v, u) ≥ ξ. It returns ErrDeadline when
+// the budget expires first; the partial result is still meaningful.
+func Find(g1, g2 *graph.Graph, mat simmatrix.Matrix, opts Options) (*Result, error) {
+	type pair struct{ v, u graph.NodeID }
+	var pairs []pair
+	for v := 0; v < g1.NumNodes(); v++ {
+		for u := 0; u < g2.NumNodes(); u++ {
+			vv, uu := graph.NodeID(v), graph.NodeID(u)
+			if mat.Score(vv, uu) < opts.Xi {
+				continue
+			}
+			// Induced subgraphs must agree on self-loops too.
+			if g1.HasEdge(vv, vv) != g2.HasEdge(uu, uu) {
+				continue
+			}
+			pairs = append(pairs, pair{vv, uu})
+		}
+	}
+	n := len(pairs)
+	adj := make([]*bitset.Set, n)
+	for i := range adj {
+		adj[i] = bitset.New(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := pairs[i], pairs[j]
+			if a.v == b.v || a.u == b.u {
+				continue
+			}
+			// Induced-subgraph compatibility: edges must agree in both
+			// graphs, in both directions.
+			if g1.HasEdge(a.v, b.v) != g2.HasEdge(a.u, b.u) {
+				continue
+			}
+			if g1.HasEdge(b.v, a.v) != g2.HasEdge(b.u, a.u) {
+				continue
+			}
+			adj[i].Add(j)
+			adj[j].Add(i)
+		}
+	}
+
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = time.Now().Add(opts.Budget)
+	}
+	s := &search{adj: adj, deadline: deadline}
+	r := bitset.New(n)
+	p := bitset.New(n)
+	p.Fill()
+	s.expand(r, p, bitset.New(n))
+
+	m := make(map[graph.NodeID]graph.NodeID, s.best.Count())
+	for i := s.best.Next(0); i >= 0; i = s.best.Next(i + 1) {
+		m[pairs[i].v] = pairs[i].u
+	}
+	res := &Result{Mapping: m, Complete: !s.timedOut}
+	if s.timedOut {
+		return res, ErrDeadline
+	}
+	return res, nil
+}
+
+type search struct {
+	adj      []*bitset.Set
+	best     *bitset.Set
+	deadline time.Time
+	timedOut bool
+	ticks    int
+}
+
+// expand is Bron–Kerbosch with pivoting on (R, P, X), keeping the largest
+// R seen. P ∪ X shrink along adjacency; the |R| + |P| bound prunes.
+func (s *search) expand(r, p, x *bitset.Set) {
+	if s.timedOut {
+		return
+	}
+	s.ticks++
+	if s.ticks%256 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return
+	}
+	if s.best == nil {
+		s.best = bitset.New(len(s.adj))
+	}
+	if p.Empty() && x.Empty() {
+		if r.Count() > s.best.Count() {
+			s.best = r.Clone()
+		}
+		return
+	}
+	if r.Count()+p.Count() <= s.best.Count() {
+		return
+	}
+	// Pivot: the P ∪ X node with most neighbours in P.
+	pivot, bestDeg := -1, -1
+	for _, set := range []*bitset.Set{p, x} {
+		for i := set.Next(0); i >= 0; i = set.Next(i + 1) {
+			if d := s.adj[i].IntersectionCount(p); d > bestDeg {
+				bestDeg, pivot = d, i
+			}
+		}
+	}
+	cands := p.Clone()
+	if pivot >= 0 {
+		cands.AndNot(s.adj[pivot])
+	}
+	for v := cands.Next(0); v >= 0; v = cands.Next(v + 1) {
+		r.Add(v)
+		np := p.Clone()
+		np.And(s.adj[v])
+		nx := x.Clone()
+		nx.And(s.adj[v])
+		s.expand(r, np, nx)
+		r.Remove(v)
+		p.Remove(v)
+		x.Add(v)
+		if s.timedOut {
+			return
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package mcs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+func find(t *testing.T, g1, g2 *graph.Graph) *Result {
+	t.Helper()
+	r, err := Find(g1, g2, simmatrix.NewLabelEquality(g1, g2), Options{Xi: 0.5})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	return r
+}
+
+func TestIdenticalGraphs(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	r := find(t, g, g)
+	if r.Cardinality() != 3 {
+		t.Fatalf("MCS of identical graphs = %d, want 3", r.Cardinality())
+	}
+	if !r.Complete {
+		t.Fatal("small search should complete")
+	}
+}
+
+func TestCommonSubgraphIsInduced(t *testing.T) {
+	// G1: triangle a-b-c (directed cycle). G2: path a→b→c. Their maximum
+	// common induced subgraph is 2 nodes (any single edge).
+	g1 := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	g2 := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	r := find(t, g1, g2)
+	if r.Cardinality() != 2 {
+		t.Fatalf("MCS = %d, want 2 (mapping %v)", r.Cardinality(), r.Mapping)
+	}
+	validateCommon(t, g1, g2, r)
+}
+
+func TestDisjointLabels(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"x"}, nil)
+	g2 := graph.FromEdgeList([]string{"y"}, nil)
+	r := find(t, g1, g2)
+	if r.Cardinality() != 0 {
+		t.Fatalf("MCS = %d, want 0", r.Cardinality())
+	}
+}
+
+func TestMappingValidRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	labels := []string{"a", "b"}
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g.Finish()
+		return g
+	}
+	for i := 0; i < 15; i++ {
+		g1, g2 := mk(6), mk(6)
+		r := find(t, g1, g2)
+		validateCommon(t, g1, g2, r)
+	}
+}
+
+func validateCommon(t *testing.T, g1, g2 *graph.Graph, r *Result) {
+	t.Helper()
+	seen := map[graph.NodeID]bool{}
+	for _, u := range r.Mapping {
+		if seen[u] {
+			t.Fatal("mapping not injective")
+		}
+		seen[u] = true
+	}
+	for v, u := range r.Mapping {
+		for v2, u2 := range r.Mapping {
+			if g1.HasEdge(v, v2) != g2.HasEdge(u, u2) {
+				t.Fatalf("edge disagreement: (%d,%d) vs (%d,%d)", v, v2, u, u2)
+			}
+		}
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	// A dense same-label instance blows up the clique search; a tiny
+	// budget must abort with ErrDeadline, mirroring cdkMCS failing to run
+	// to completion on skeletons 1.
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("same")
+		}
+		for i := 0; i < n*3; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g.Finish()
+		return g
+	}
+	g1, g2 := mk(30), mk(30)
+	_, err := Find(g1, g2, simmatrix.NewLabelEquality(g1, g2), Options{Xi: 0.5, Budget: time.Millisecond})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestPartialResultOnDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("same")
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g.Finish()
+		return g
+	}
+	g1, g2 := mk(25), mk(25)
+	r, err := Find(g1, g2, simmatrix.NewLabelEquality(g1, g2), Options{Xi: 0.5, Budget: 5 * time.Millisecond})
+	if err == nil {
+		t.Skip("search completed within budget on this machine")
+	}
+	if r == nil {
+		t.Fatal("partial result must be returned on deadline")
+	}
+	if r.Complete {
+		t.Fatal("Complete must be false on deadline")
+	}
+	validateCommon(t, g1, g2, r)
+}
+
+func TestSubgraphOfLarger(t *testing.T) {
+	// G1 is an exact induced subgraph of G2 → MCS covers all of G1.
+	g1 := graph.FromEdgeList([]string{"a", "b"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}})
+	r := find(t, g1, g2)
+	if r.Cardinality() != 2 {
+		t.Fatalf("MCS = %d, want 2", r.Cardinality())
+	}
+}

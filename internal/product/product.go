@@ -1,0 +1,135 @@
+// Package product implements the approximation-factor-preserving (AFP)
+// reduction of Theorem 5.1: an SPH/CPH instance (G1, G2, mat, ξ) maps to a
+// weighted independent set instance on the complement of a product graph
+// G = G1 × G2+, such that cliques of G (equivalently, independent sets of
+// its complement Gc) correspond exactly to p-hom mappings from subgraphs of
+// G1 to G2 (Claim 2 in Appendix A).
+//
+// The construction is the function f of the reduction; MappingFromClique is
+// the function g. The naive approximation algorithms of Section 5 run
+// Boppana–Halldórsson on this product; internal/core's compMaxCard operates
+// directly on the matching list instead but simulates the same procedure,
+// and tests in internal/core cross-check the two.
+package product
+
+import (
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+	"graphmatch/internal/wis"
+)
+
+// Pair is a candidate match [v, u]: node v of G1 against node u of G2.
+type Pair struct {
+	V graph.NodeID // node in G1
+	U graph.NodeID // node in G2
+}
+
+// Product is the compatibility graph of an instance. Node i of G stands
+// for Pairs[i]; an edge {i, j} means the two candidate matches can coexist
+// in one p-hom mapping. A clique therefore is a p-hom mapping from the
+// induced subgraph of G1 on the covered nodes.
+type Product struct {
+	Pairs []Pair
+	// G is the compatibility graph; node weights are w(v)·mat(v, u), so a
+	// maximum-weight clique maximises the qualSim numerator and (with unit
+	// mat and weights) a maximum clique maximises qualCard.
+	G *wis.Graph
+	// Injective records whether 1-1 compatibility was enforced (pairs
+	// sharing the same u are incompatible).
+	Injective bool
+}
+
+// Build constructs the product graph of an instance. reach must be the
+// transitive-closure index of g2 (computed by the caller so it can be
+// shared across constructions). Conditions, following the proof of
+// Theorem 5.1:
+//
+//	node [v, u] exists iff mat(v, u) ≥ ξ, and — strengthening the paper's
+//	edge-level condition (b) so that singleton cliques remain sound — if
+//	(v, v) ∈ E1 then u must reach itself by a nonempty path in G2;
+//
+//	edge {[v1, u1], [v2, u2]} exists iff v1 ≠ v2, and in both directions
+//	an edge in G1 implies reachability in G2: (v1, v2) ∈ E1 ⇒ u1 ⇝ u2 and
+//	(v2, v1) ∈ E1 ⇒ u2 ⇝ u1; for injective products additionally u1 ≠ u2.
+func Build(g1, g2 *graph.Graph, mat simmatrix.Matrix, xi float64, injective bool, reach *closure.Reach) *Product {
+	var pairs []Pair
+	for v := 0; v < g1.NumNodes(); v++ {
+		vv := graph.NodeID(v)
+		selfLoop := g1.HasEdge(vv, vv)
+		for u := 0; u < g2.NumNodes(); u++ {
+			uu := graph.NodeID(u)
+			if mat.Score(vv, uu) < xi {
+				continue
+			}
+			if selfLoop && !reach.Reachable(uu, uu) {
+				continue
+			}
+			pairs = append(pairs, Pair{V: vv, U: uu})
+		}
+	}
+	pg := wis.NewGraph(len(pairs))
+	for i := range pairs {
+		pg.SetWeight(i, g1.Weight(pairs[i].V)*mat.Score(pairs[i].V, pairs[i].U))
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			if compatible(g1, reach, pairs[i], pairs[j], injective) {
+				pg.AddEdge(i, j)
+			}
+		}
+	}
+	return &Product{Pairs: pairs, G: pg, Injective: injective}
+}
+
+func compatible(g1 *graph.Graph, reach *closure.Reach, a, b Pair, injective bool) bool {
+	if a.V == b.V {
+		return false
+	}
+	if injective && a.U == b.U {
+		return false
+	}
+	if g1.HasEdge(a.V, b.V) && !reach.Reachable(a.U, b.U) {
+		return false
+	}
+	if g1.HasEdge(b.V, a.V) && !reach.Reachable(b.U, a.U) {
+		return false
+	}
+	return true
+}
+
+// MappingFromClique is the function g of the AFP-reduction: it converts a
+// clique of the product graph (given as node indices into Pairs) into the
+// corresponding partial mapping from G1 to G2.
+func (p *Product) MappingFromClique(clique []int) map[graph.NodeID]graph.NodeID {
+	m := make(map[graph.NodeID]graph.NodeID, len(clique))
+	for _, i := range clique {
+		m[p.Pairs[i].V] = p.Pairs[i].U
+	}
+	return m
+}
+
+// MaxCardClique approximates a maximum clique of the product graph with
+// ISRemoval (Fig. 9), yielding the naive CPH approximation of Section 5.
+func (p *Product) MaxCardClique() []int {
+	return p.G.ISRemoval()
+}
+
+// MaxSimClique approximates a maximum-weight clique by running
+// Halldórsson's weighted independent set algorithm on the complement
+// graph, yielding the naive SPH approximation of Section 5.
+func (p *Product) MaxSimClique() []int {
+	return p.G.Complement().MaxWeightIS()
+}
+
+// ExactMaxCardClique computes an exact maximum clique (exponential; small
+// instances only). It anchors correctness and approximation-quality tests.
+func (p *Product) ExactMaxCardClique() []int {
+	return p.G.ExactMaxClique()
+}
+
+// ExactMaxSimClique computes an exact maximum-weight clique via exact
+// maximum-weight independent set on the complement (exponential).
+func (p *Product) ExactMaxSimClique() []int {
+	return p.G.Complement().ExactMaxWeightIS()
+}

@@ -1,0 +1,177 @@
+package product
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+func randomPair(seed int64, n1, n2 int) (*graph.Graph, *graph.Graph, simmatrix.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c"}
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g.Finish()
+		return g
+	}
+	g1 := mk(n1)
+	g2 := mk(n2)
+	return g1, g2, simmatrix.NewLabelEquality(g1, g2)
+}
+
+// validMapping re-checks the p-hom conditions directly (independent of the
+// core package, to avoid an import cycle in spirit).
+func validMapping(g1, g2 *graph.Graph, mat simmatrix.Matrix, xi float64, m map[graph.NodeID]graph.NodeID, injective bool) bool {
+	reach := closure.Compute(g2)
+	if injective {
+		seen := map[graph.NodeID]bool{}
+		for _, u := range m {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+	}
+	for v, u := range m {
+		if mat.Score(v, u) < xi {
+			return false
+		}
+		for _, v2 := range g1.Post(v) {
+			if u2, ok := m[v2]; ok && !reach.Reachable(u, u2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestProductCliquesAreMappings(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, g2, mat := randomPair(seed, 5, 7)
+		reach := closure.Compute(g2)
+		for _, injective := range []bool{false, true} {
+			p := Build(g1, g2, mat, 0.5, injective, reach)
+			clique := p.ExactMaxCardClique()
+			if !p.G.IsClique(clique) {
+				return false
+			}
+			m := p.MappingFromClique(clique)
+			if len(m) != len(clique) {
+				return false // distinct v per clique node
+			}
+			if !validMapping(g1, g2, mat, 0.5, m, injective) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductApproxCliquesAreMappings(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, g2, mat := randomPair(seed, 6, 8)
+		reach := closure.Compute(g2)
+		p := Build(g1, g2, mat, 0.5, false, reach)
+		m1 := p.MappingFromClique(p.MaxCardClique())
+		m2 := p.MappingFromClique(p.MaxSimClique())
+		return validMapping(g1, g2, mat, 0.5, m1, false) &&
+			validMapping(g1, g2, mat, 0.5, m2, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductSelfLoopNodeCondition(t *testing.T) {
+	// Pattern node with a self-loop only pairs with self-reaching data
+	// nodes, even as a singleton (strengthened condition (b)).
+	g1 := graph.FromEdgeList([]string{"a"}, [][2]int{{0, 0}})
+	g2 := graph.FromEdgeList([]string{"a", "a"}, [][2]int{{0, 1}}) // acyclic
+	mat := simmatrix.NewLabelEquality(g1, g2)
+	p := Build(g1, g2, mat, 0.5, false, closure.Compute(g2))
+	if len(p.Pairs) != 0 {
+		t.Fatalf("no pair should survive, got %v", p.Pairs)
+	}
+	g3 := graph.FromEdgeList([]string{"a"}, [][2]int{{0, 0}}) // data self-loop
+	p2 := Build(g1, g3, mat, 0.5, false, closure.Compute(g3))
+	if len(p2.Pairs) != 1 {
+		t.Fatalf("self-loop data node should pair, got %v", p2.Pairs)
+	}
+}
+
+func TestProductInjectiveEdges(t *testing.T) {
+	// Two pattern nodes sharing one candidate: compatible in the plain
+	// product, incompatible in the injective product.
+	g1 := graph.FromEdgeList([]string{"x", "x"}, nil)
+	g2 := graph.FromEdgeList([]string{"x"}, nil)
+	mat := simmatrix.NewLabelEquality(g1, g2)
+	reach := closure.Compute(g2)
+	plain := Build(g1, g2, mat, 0.5, false, reach)
+	if plain.G.NumEdges() != 1 {
+		t.Fatalf("plain product edges = %d, want 1", plain.G.NumEdges())
+	}
+	inj := Build(g1, g2, mat, 0.5, true, reach)
+	if inj.G.NumEdges() != 0 {
+		t.Fatalf("injective product edges = %d, want 0", inj.G.NumEdges())
+	}
+	if !inj.Injective {
+		t.Fatal("Injective flag not set")
+	}
+}
+
+func TestProductEdgeConstraint(t *testing.T) {
+	// Pattern edge a→b; data has a→b (path) but not b→a. Pairs (a,a),(b,b)
+	// compatible; pairs (a,b),(b,a) would need reversed reachability.
+	g1 := graph.FromEdgeList([]string{"n", "n"}, [][2]int{{0, 1}})
+	g2 := graph.FromEdgeList([]string{"n", "n"}, [][2]int{{0, 1}})
+	mat := simmatrix.NewLabelEquality(g1, g2)
+	p := Build(g1, g2, mat, 0.5, false, closure.Compute(g2))
+	// Pairs: (0,0),(0,1),(1,0),(1,1). Compatible: {(0,0),(1,1)} only,
+	// since edge 0→1 in G1 needs u0 ⇝ u1 in G2.
+	idx := func(v, u graph.NodeID) int {
+		for i, pr := range p.Pairs {
+			if pr.V == v && pr.U == u {
+				return i
+			}
+		}
+		t.Fatalf("pair (%d,%d) missing", v, u)
+		return -1
+	}
+	if !p.G.HasEdge(idx(0, 0), idx(1, 1)) {
+		t.Error("compatible pair not connected")
+	}
+	if p.G.HasEdge(idx(0, 1), idx(1, 0)) {
+		t.Error("incompatible pair connected (needs path 1⇝0)")
+	}
+	if p.G.HasEdge(idx(0, 0), idx(1, 0)) {
+		t.Error("pairs sharing... (0,0)-(1,0) needs path 0⇝0, absent")
+	}
+}
+
+func TestProductWeights(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"x"}, nil)
+	g1.SetWeight(0, 3)
+	g2 := graph.FromEdgeList([]string{"x"}, nil)
+	mat := simmatrix.NewSparse()
+	mat.Set(0, 0, 0.8)
+	p := Build(g1, g2, mat, 0.5, false, closure.Compute(g2))
+	if len(p.Pairs) != 1 {
+		t.Fatalf("pairs = %v", p.Pairs)
+	}
+	if got := p.G.Weight(0); got < 2.4-1e-9 || got > 2.4+1e-9 {
+		t.Fatalf("product weight = %v, want 2.4 (= 3 × 0.8)", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package reduction implements the NP-hardness constructions of
+// Appendix A — 3SAT → p-hom (Theorem 4.1(a), Fig. 7), X3C → 1-1 p-hom
+// (Theorem 4.1(b), Fig. 8) and WIS → SPH (Theorem 4.3) — together with
+// exact solvers for the source problems, so the reductions can be
+// validated end to end: an instance is satisfiable/coverable exactly when
+// the constructed matching instance admits a (1-1) p-hom mapping.
+//
+// Beyond validating the theory, these constructions double as adversarial
+// workload generators: they produce DAG instances that exercise the
+// matching algorithms far from the Web-graph regime.
+package reduction
+
+import (
+	"fmt"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// Literal is a possibly negated variable x_i (variables are 0-based).
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of exactly three literals over three distinct
+// variables.
+type Clause [3]Literal
+
+// ThreeSAT is a 3SAT instance: a conjunction of clauses over NumVars
+// variables.
+type ThreeSAT struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks structural well-formedness: variable indices in range
+// and distinct variables within each clause (the Fig. 7 construction
+// enumerates the 8 truth assignments of a clause's three variables, which
+// requires them distinct).
+func (f *ThreeSAT) Validate() error {
+	for ci, c := range f.Clauses {
+		seen := map[int]bool{}
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("reduction: clause %d: variable %d out of range [0,%d)", ci, l.Var, f.NumVars)
+			}
+			if seen[l.Var] {
+				return fmt.Errorf("reduction: clause %d repeats variable %d", ci, l.Var)
+			}
+			seen[l.Var] = true
+		}
+	}
+	return nil
+}
+
+// Evaluate reports whether assignment (indexed by variable) satisfies f.
+func (f *ThreeSAT) Evaluate(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assignment[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve searches for a satisfying assignment with DPLL-style backtracking
+// (unit clauses are not tracked; instances here are small). It returns the
+// assignment and true, or nil and false.
+func (f *ThreeSAT) Solve() ([]bool, bool) {
+	assignment := make([]bool, f.NumVars)
+	decided := make([]bool, f.NumVars)
+	var try func(v int) bool
+	try = func(v int) bool {
+		if v == f.NumVars {
+			return f.Evaluate(assignment)
+		}
+		for _, val := range []bool{true, false} {
+			assignment[v] = val
+			decided[v] = true
+			if !f.conflict(decided, assignment) && try(v+1) {
+				return true
+			}
+		}
+		decided[v] = false
+		return false
+	}
+	if try(0) {
+		return assignment, true
+	}
+	return nil, false
+}
+
+// conflict reports whether some clause is already falsified by the decided
+// prefix.
+func (f *ThreeSAT) conflict(decided, assignment []bool) bool {
+	for _, c := range f.Clauses {
+		falsified := true
+		for _, l := range c {
+			if !decided[l.Var] || assignment[l.Var] != l.Neg {
+				falsified = false
+				break
+			}
+		}
+		if falsified {
+			return true
+		}
+	}
+	return false
+}
+
+// PHomInstance is the output of a reduction to the p-hom problem.
+type PHomInstance struct {
+	G1  *graph.Graph
+	G2  *graph.Graph
+	Mat simmatrix.Matrix
+	Xi  float64
+}
+
+// FromThreeSAT builds the Fig. 7 instance: G1 encodes the formula (root
+// R1, a variable node per x_i, a clause node per C_j), G2 encodes the
+// satisfying truth assignments (root R2, T/F, XT_i/XF_i per variable, and
+// one node per clause and satisfying assignment of its three variables).
+// φ is satisfiable iff G1 ≼(e,p) G2 with ξ = 1. Both graphs are DAGs.
+//
+// Node bookkeeping, for mapping extraction: G1's variable node for x_i is
+// VarNode[i]; G2's true/false nodes are TrueNode[i] and FalseNode[i].
+type ThreeSATReduction struct {
+	PHomInstance
+	Formula   *ThreeSAT
+	VarNode   []graph.NodeID // G1 node of x_i
+	TrueNode  []graph.NodeID // G2 node XT_i
+	FalseNode []graph.NodeID // G2 node XF_i
+}
+
+// FromThreeSAT constructs the reduction; it returns an error when the
+// formula is malformed.
+func FromThreeSAT(f *ThreeSAT) (*ThreeSATReduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := f.NumVars, len(f.Clauses)
+
+	// G1: R1 → X_i; X_{p_jk} → C_j.
+	g1 := graph.New(1 + m + n)
+	r1 := g1.AddNode("R1")
+	varNode := make([]graph.NodeID, m)
+	for i := 0; i < m; i++ {
+		varNode[i] = g1.AddNode(fmt.Sprintf("X%d", i))
+		g1.AddEdge(r1, varNode[i])
+	}
+	clauseNode := make([]graph.NodeID, n)
+	for j, c := range f.Clauses {
+		clauseNode[j] = g1.AddNode(fmt.Sprintf("C%d", j))
+		for _, l := range c {
+			g1.AddEdge(varNode[l.Var], clauseNode[j])
+		}
+	}
+	g1.Finish()
+
+	// G2: R2 → {T, F}; T → XT_i, F → XF_i; for each clause j and each of
+	// its 8 local assignments ρ that satisfy the clause, a node "ρ_j" with
+	// edges from the XT/XF nodes consistent with ρ.
+	g2 := graph.New(3 + 2*m + 8*n)
+	r2 := g2.AddNode("R2")
+	tNode := g2.AddNode("T")
+	fNode := g2.AddNode("F")
+	g2.AddEdge(r2, tNode)
+	g2.AddEdge(r2, fNode)
+	trueNode := make([]graph.NodeID, m)
+	falseNode := make([]graph.NodeID, m)
+	for i := 0; i < m; i++ {
+		trueNode[i] = g2.AddNode(fmt.Sprintf("XT%d", i))
+		falseNode[i] = g2.AddNode(fmt.Sprintf("XF%d", i))
+		g2.AddEdge(tNode, trueNode[i])
+		g2.AddEdge(fNode, falseNode[i])
+	}
+	mat := simmatrix.NewSparse()
+	mat.Set(r1, r2, 1)
+	for i := 0; i < m; i++ {
+		mat.Set(varNode[i], trueNode[i], 1)
+		mat.Set(varNode[i], falseNode[i], 1)
+	}
+	for j, c := range f.Clauses {
+		for rho := 0; rho < 8; rho++ {
+			node := g2.AddNode(fmt.Sprintf("%d_%d", rho, j))
+			// ρ bit k gives the value of the variable in literal k.
+			sat := false
+			for k, l := range c {
+				val := rho&(1<<k) != 0
+				if val != l.Neg {
+					sat = true
+				}
+			}
+			// All 8 nodes exist (as in the proof), but only satisfying
+			// assignments receive incoming edges, making the others
+			// unusable as images.
+			mat.Set(clauseNode[j], node, 1)
+			if !sat {
+				continue
+			}
+			for k, l := range c {
+				if rho&(1<<k) != 0 {
+					g2.AddEdge(trueNode[l.Var], node)
+				} else {
+					g2.AddEdge(falseNode[l.Var], node)
+				}
+			}
+		}
+	}
+	g2.Finish()
+
+	return &ThreeSATReduction{
+		PHomInstance: PHomInstance{G1: g1, G2: g2, Mat: mat, Xi: 1},
+		Formula:      f,
+		VarNode:      varNode,
+		TrueNode:     trueNode,
+		FalseNode:    falseNode,
+	}, nil
+}
+
+// AssignmentFromMapping decodes a p-hom witness back into a truth
+// assignment (the g direction of the reduction's correctness proof).
+func (r *ThreeSATReduction) AssignmentFromMapping(m map[graph.NodeID]graph.NodeID) []bool {
+	out := make([]bool, r.Formula.NumVars)
+	for i, vn := range r.VarNode {
+		out[i] = m[vn] == r.TrueNode[i]
+	}
+	return out
+}

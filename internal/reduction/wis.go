@@ -1,0 +1,74 @@
+package reduction
+
+import (
+	"fmt"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+	"graphmatch/internal/wis"
+)
+
+// WISReduction is the Theorem 4.3 construction (f, g) from maximum
+// weighted independent set to SPH: G1 carries the WIS graph's nodes and
+// (arbitrarily oriented) edges with their weights, G2 carries the same
+// nodes but no edges at all, and mat pairs each node only with its own
+// copy. Any p-hom mapping's domain must then be an independent set of the
+// original graph — an edge inside the domain would demand a path in the
+// edgeless G2 — and its qualSim numerator equals the set's weight. The
+// construction shows the optimisation problems inherit WIS's
+// O(1/n^(1−ε)) inapproximability.
+type WISReduction struct {
+	PHomInstance
+	Source *wis.Graph
+}
+
+// FromWIS builds the reduction instance.
+func FromWIS(g *wis.Graph) *WISReduction {
+	n := g.N()
+	g1 := graph.New(n)
+	g2 := graph.New(n)
+	for v := 0; v < n; v++ {
+		label := fmt.Sprintf("v%d", v)
+		id := g1.AddNode(label)
+		g1.SetWeight(id, g.Weight(v))
+		g2.AddNode(label)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				g1.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g1.Finish()
+	g2.Finish()
+
+	mat := simmatrix.NewSparse()
+	for v := 0; v < n; v++ {
+		mat.Set(graph.NodeID(v), graph.NodeID(v), 1)
+	}
+	return &WISReduction{
+		PHomInstance: PHomInstance{G1: g1, G2: g2, Mat: mat, Xi: 1},
+		Source:       g,
+	}
+}
+
+// SetFromMapping is the g direction: the domain of any p-hom mapping is an
+// independent set of the source graph.
+func (r *WISReduction) SetFromMapping(m map[graph.NodeID]graph.NodeID) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, int(v))
+	}
+	return out
+}
+
+// MappingFromSet is the inverse: an independent set yields the identity
+// mapping on its members.
+func (r *WISReduction) MappingFromSet(set []int) map[graph.NodeID]graph.NodeID {
+	m := make(map[graph.NodeID]graph.NodeID, len(set))
+	for _, v := range set {
+		m[graph.NodeID(v)] = graph.NodeID(v)
+	}
+	return m
+}

@@ -1,0 +1,203 @@
+package reduction
+
+import (
+	"fmt"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// X3C is an exact-cover-by-3-sets instance: a universe of 3q elements
+// (0..3q-1) and a collection of 3-element subsets. The question is whether
+// some sub-collection partitions the universe.
+type X3C struct {
+	Q       int      // universe size is 3·Q
+	Subsets [][3]int // each subset lists three distinct elements
+}
+
+// Validate checks element ranges and distinctness within subsets.
+func (x *X3C) Validate() error {
+	for si, s := range x.Subsets {
+		seen := map[int]bool{}
+		for _, e := range s {
+			if e < 0 || e >= 3*x.Q {
+				return fmt.Errorf("reduction: subset %d: element %d out of range [0,%d)", si, e, 3*x.Q)
+			}
+			if seen[e] {
+				return fmt.Errorf("reduction: subset %d repeats element %d", si, e)
+			}
+			seen[e] = true
+		}
+	}
+	return nil
+}
+
+// IsCover reports whether the chosen subset indices form an exact cover.
+func (x *X3C) IsCover(chosen []int) bool {
+	if len(chosen) != x.Q {
+		return false
+	}
+	covered := make([]bool, 3*x.Q)
+	for _, si := range chosen {
+		if si < 0 || si >= len(x.Subsets) {
+			return false
+		}
+		for _, e := range x.Subsets[si] {
+			if covered[e] {
+				return false
+			}
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve searches for an exact cover by backtracking on the first
+// uncovered element. It returns the chosen subset indices and true, or
+// nil and false.
+func (x *X3C) Solve() ([]int, bool) {
+	covered := make([]bool, 3*x.Q)
+	// byElement[e] lists subsets containing e.
+	byElement := make([][]int, 3*x.Q)
+	for si, s := range x.Subsets {
+		for _, e := range s {
+			byElement[e] = append(byElement[e], si)
+		}
+	}
+	var chosen []int
+	var try func() bool
+	try = func() bool {
+		first := -1
+		for e, c := range covered {
+			if !c {
+				first = e
+				break
+			}
+		}
+		if first == -1 {
+			return true
+		}
+		for _, si := range byElement[first] {
+			ok := true
+			for _, e := range x.Subsets[si] {
+				if covered[e] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, e := range x.Subsets[si] {
+				covered[e] = true
+			}
+			chosen = append(chosen, si)
+			if try() {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			for _, e := range x.Subsets[si] {
+				covered[e] = false
+			}
+		}
+		return false
+	}
+	if try() {
+		return chosen, true
+	}
+	return nil, false
+}
+
+// X3CReduction is the Fig. 8 construction: G1 is a tree (root, q slot
+// nodes, 3 element slots each), G2 a DAG (root, one node per subset, one
+// node per universe element). An exact cover exists iff G1 ≼1-1(e,p) G2
+// with ξ = 1.
+type X3CReduction struct {
+	PHomInstance
+	Instance *X3C
+	SlotNode []graph.NodeID       // G1 node C'_i
+	SubsetOf map[graph.NodeID]int // G2 subset node → subset index
+}
+
+// FromX3C constructs the reduction; it returns an error when the instance
+// is malformed.
+func FromX3C(x *X3C) (*X3CReduction, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	q, n := x.Q, len(x.Subsets)
+
+	// G1: R1 → C'_i → {X'_i1, X'_i2, X'_i3} — a tree with q slots.
+	g1 := graph.New(1 + 4*q)
+	r1 := g1.AddNode("R1")
+	slotNode := make([]graph.NodeID, q)
+	for i := 0; i < q; i++ {
+		slotNode[i] = g1.AddNode(fmt.Sprintf("C'%d", i))
+		g1.AddEdge(r1, slotNode[i])
+		for k := 0; k < 3; k++ {
+			leaf := g1.AddNode(fmt.Sprintf("X'%d_%d", i, k))
+			g1.AddEdge(slotNode[i], leaf)
+		}
+	}
+	g1.Finish()
+
+	// G2: R2 → C_i → its three elements.
+	g2 := graph.New(1 + n + 3*q)
+	r2 := g2.AddNode("R2")
+	elementNode := make([]graph.NodeID, 3*q)
+	for e := 0; e < 3*q; e++ {
+		elementNode[e] = g2.AddNode(fmt.Sprintf("x%d", e))
+	}
+	subsetOf := make(map[graph.NodeID]int, n)
+	subsetNode := make([]graph.NodeID, n)
+	for si, s := range x.Subsets {
+		subsetNode[si] = g2.AddNode(fmt.Sprintf("C%d", si))
+		subsetOf[subsetNode[si]] = si
+		g2.AddEdge(r2, subsetNode[si])
+		for _, e := range s {
+			g2.AddEdge(subsetNode[si], elementNode[e])
+		}
+	}
+	g2.Finish()
+
+	// mat: roots pair; slots pair with every subset node; element slots
+	// pair with every element node.
+	mat := simmatrix.NewSparse()
+	mat.Set(r1, r2, 1)
+	for i := 0; i < q; i++ {
+		for si := 0; si < n; si++ {
+			mat.Set(slotNode[i], subsetNode[si], 1)
+		}
+		for k := 0; k < 3; k++ {
+			leaf := slotNode[i] + graph.NodeID(k) + 1
+			for e := 0; e < 3*q; e++ {
+				mat.Set(leaf, elementNode[e], 1)
+			}
+		}
+	}
+
+	return &X3CReduction{
+		PHomInstance: PHomInstance{G1: g1, G2: g2, Mat: mat, Xi: 1},
+		Instance:     x,
+		SlotNode:     slotNode,
+		SubsetOf:     subsetOf,
+	}, nil
+}
+
+// CoverFromMapping decodes a 1-1 p-hom witness into the chosen subsets.
+func (r *X3CReduction) CoverFromMapping(m map[graph.NodeID]graph.NodeID) []int {
+	var out []int
+	for _, slot := range r.SlotNode {
+		if img, ok := m[slot]; ok {
+			if si, ok := r.SubsetOf[img]; ok {
+				out = append(out, si)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package shingle
+
+import "testing"
+
+// FuzzResemblance checks metric axioms on arbitrary text inputs: scores
+// stay in [0, 1], are symmetric, and identical texts score 1.
+func FuzzResemblance(f *testing.F) {
+	f.Add("the quick brown fox", "the quick brown fox jumps", 3)
+	f.Add("", "anything here", 2)
+	f.Add("ünïcödé wörds über alles", "ünïcödé wörds", 1)
+	f.Fuzz(func(t *testing.T, a, b string, size int) {
+		if size < 0 || size > 32 {
+			return
+		}
+		s := NewShingler(size)
+		sa, sb := s.Shingle(a), s.Shingle(b)
+		r := Resemblance(sa, sb)
+		if r < 0 || r > 1 {
+			t.Fatalf("resemblance out of range: %v", r)
+		}
+		if Resemblance(sb, sa) != r {
+			t.Fatal("resemblance asymmetric")
+		}
+		if Resemblance(sa, sa) != 1 {
+			t.Fatal("self-resemblance != 1")
+		}
+		c := Containment(sa, sb)
+		if c < 0 || c > 1 {
+			t.Fatalf("containment out of range: %v", c)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package simmatrix provides the node-similarity matrix mat() of
+// Section 3.1: for every node pair (v, u) ∈ V1 × V2, mat(v, u) ∈ [0, 1]
+// says how close the two nodes are, and a similarity threshold ξ gates
+// which pairs are admissible matches (v may map to u only if
+// mat(v, u) ≥ ξ).
+//
+// The paper leaves the origin of mat() open — shingle-based textual
+// similarity, vertex-similarity matrices, or plain label equality — so the
+// package defines a small Matrix interface with several implementations:
+//
+//   - Dense: an explicit |V1|×|V2| float matrix.
+//   - Sparse: a map-backed matrix for the common case where most pairs
+//     score zero (e.g. the worked examples and reduction constructions).
+//   - LabelEquality: mat(v, u) = 1 iff L1(v) = L2(u) (the convention used
+//     in Fig. 2's examples and the conventional-notion comparisons).
+//   - Grouped: labels are partitioned into groups; cross-group pairs score
+//     0 and in-group pairs carry a per-pair score (the synthetic-data
+//     convention of Section 6).
+//   - FromContent: shingle resemblance of node contents (the Web-graph
+//     convention of Section 6).
+package simmatrix
+
+import (
+	"graphmatch/internal/graph"
+	"graphmatch/internal/shingle"
+)
+
+// Matrix scores the similarity of node v of G1 against node u of G2.
+// Implementations must return values in [0, 1] and be safe for concurrent
+// readers once built.
+type Matrix interface {
+	Score(v, u graph.NodeID) float64
+}
+
+// Dense is an explicit matrix over dense node IDs.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates a rows×cols zero matrix (rows index V1, cols V2).
+func NewDense(rows, cols int) *Dense {
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Set assigns mat(v, u) = s.
+func (d *Dense) Set(v, u graph.NodeID, s float64) {
+	d.data[int(v)*d.cols+int(u)] = s
+}
+
+// Score reports mat(v, u).
+func (d *Dense) Score(v, u graph.NodeID) float64 {
+	return d.data[int(v)*d.cols+int(u)]
+}
+
+// Rows reports |V1|.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols reports |V2|.
+func (d *Dense) Cols() int { return d.cols }
+
+// Sparse is a map-backed matrix: absent pairs score 0.
+type Sparse struct {
+	scores map[[2]graph.NodeID]float64
+}
+
+// NewSparse returns an empty sparse matrix.
+func NewSparse() *Sparse {
+	return &Sparse{scores: make(map[[2]graph.NodeID]float64)}
+}
+
+// Set assigns mat(v, u) = s.
+func (sp *Sparse) Set(v, u graph.NodeID, s float64) {
+	sp.scores[[2]graph.NodeID{v, u}] = s
+}
+
+// Score reports mat(v, u), zero when unset.
+func (sp *Sparse) Score(v, u graph.NodeID) float64 {
+	return sp.scores[[2]graph.NodeID{v, u}]
+}
+
+// Len reports the number of explicitly set pairs.
+func (sp *Sparse) Len() int { return len(sp.scores) }
+
+// LabelEquality scores 1 for equal labels and 0 otherwise — the similarity
+// convention of the paper's Fig. 2 walkthrough ("mat(v, u) = 1 if u and v
+// have the same label").
+type LabelEquality struct {
+	g1, g2 *graph.Graph
+}
+
+// NewLabelEquality builds a label-equality matrix over the two graphs.
+func NewLabelEquality(g1, g2 *graph.Graph) *LabelEquality {
+	return &LabelEquality{g1: g1, g2: g2}
+}
+
+// Score reports 1 iff the labels coincide.
+func (le *LabelEquality) Score(v, u graph.NodeID) float64 {
+	if le.g1.Label(v) == le.g2.Label(u) {
+		return 1
+	}
+	return 0
+}
+
+// Grouped implements the synthetic-data convention of Section 6: the label
+// alphabet is partitioned into groups; labels in different groups are
+// "totally different" (score 0) and labels in the same group carry a
+// pairwise score assigned at generation time.
+type Grouped struct {
+	g1, g2 *graph.Graph
+	group  map[string]int
+	score  map[[2]string]float64
+}
+
+// NewGrouped builds a grouped matrix. group maps each label to its group
+// index; score carries the in-group pairwise similarities keyed by
+// [labelOfV, labelOfU]. Identical labels always score 1 even if absent
+// from score.
+func NewGrouped(g1, g2 *graph.Graph, group map[string]int, score map[[2]string]float64) *Grouped {
+	return &Grouped{g1: g1, g2: g2, group: group, score: score}
+}
+
+// Score reports the configured in-group similarity.
+func (gr *Grouped) Score(v, u graph.NodeID) float64 {
+	lv, lu := gr.g1.Label(v), gr.g2.Label(u)
+	if lv == lu {
+		return 1
+	}
+	gv, okv := gr.group[lv]
+	gu, oku := gr.group[lu]
+	if !okv || !oku || gv != gu {
+		return 0
+	}
+	return gr.score[[2]string{lv, lu}]
+}
+
+// FromContent precomputes a Dense matrix from shingle resemblance of node
+// contents, falling back to label text when a node has no content. This is
+// how Web-graph similarity is derived in Section 6 ("the similarity between
+// two nodes was measured by the textual similarity of their contents based
+// on shingles").
+func FromContent(g1, g2 *graph.Graph, shingleSize int) *Dense {
+	sh := shingle.NewShingler(shingleSize)
+	text := func(g *graph.Graph, v graph.NodeID) string {
+		if c := g.Content(v); c != "" {
+			return c
+		}
+		return g.Label(v)
+	}
+	sets1 := make([]shingle.Set, g1.NumNodes())
+	for v := 0; v < g1.NumNodes(); v++ {
+		sets1[v] = sh.Shingle(text(g1, graph.NodeID(v)))
+	}
+	sets2 := make([]shingle.Set, g2.NumNodes())
+	for u := 0; u < g2.NumNodes(); u++ {
+		sets2[u] = sh.Shingle(text(g2, graph.NodeID(u)))
+	}
+	d := NewDense(g1.NumNodes(), g2.NumNodes())
+	for v := range sets1 {
+		for u := range sets2 {
+			if s := shingle.Resemblance(sets1[v], sets2[u]); s > 0 {
+				d.Set(graph.NodeID(v), graph.NodeID(u), s)
+			}
+		}
+	}
+	return d
+}
+
+// Candidates lists, for every node v of g1, the nodes u of g2 with
+// mat(v, u) ≥ ξ — the initial H[v].good sets of Fig. 3 (line 4). The
+// result is indexed by v.
+func Candidates(g1, g2 *graph.Graph, mat Matrix, xi float64) [][]graph.NodeID {
+	out := make([][]graph.NodeID, g1.NumNodes())
+	for v := 0; v < g1.NumNodes(); v++ {
+		var cs []graph.NodeID
+		for u := 0; u < g2.NumNodes(); u++ {
+			if mat.Score(graph.NodeID(v), graph.NodeID(u)) >= xi {
+				cs = append(cs, graph.NodeID(u))
+			}
+		}
+		out[v] = cs
+	}
+	return out
+}
+
+// Constant scores every pair with the same value; useful in tests and for
+// degenerate configurations.
+type Constant float64
+
+// Score reports the constant.
+func (c Constant) Score(v, u graph.NodeID) float64 { return float64(c) }

@@ -1,0 +1,255 @@
+// Package syngen generates the synthetic workloads of Section 6 (2):
+//
+//	"Given m, we first randomly generated a graph pattern G1 with m nodes
+//	and 4×m edges. We then produced a set of 15 graphs G2 by introducing
+//	noise into G1 [...]: (a) for each edge in G1, with probability noise%,
+//	the edge was replaced with a path of from 1 to 5 nodes, and (b) each
+//	node in G1 was attached with a subgraph of at most 10 nodes, with
+//	probability noise%. The nodes were tagged with labels randomly drawn
+//	from a set L of 5×m distinct labels. The set L was divided into
+//	√(5×m) disjoint groups. Labels in different groups were considered
+//	totally different, while labels in the same group were assigned
+//	similarities randomly drawn from [0, 1]."
+//
+// Every generated G2 contains G1's nodes verbatim (same labels) with each
+// original edge turned into an edge or path, so the identity-style mapping
+// is a full p-hom mapping and the pair is guaranteed to match — the ground
+// truth behind the paper's accuracy measure.
+//
+// In-group label similarities are produced by a deterministic pseudo-random
+// function of (seed, label, label) rather than a materialised table, so a
+// workload's similarity matrix costs O(1) memory and is reproducible.
+package syngen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// Config parameterises a workload. Zero values select the paper's
+// defaults where they exist.
+type Config struct {
+	// M is the number of nodes in the pattern G1.
+	M int
+	// NoisePercent is the noise rate in percent (the paper varies 2–20).
+	NoisePercent float64
+	// NumData is the number of data graphs G2 to derive (default 15).
+	NumData int
+	// EdgeFactor is |E1| / |V1| (default 4, the paper's 4×m).
+	EdgeFactor int
+	// Seed drives all randomness; equal configs generate equal workloads.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumData == 0 {
+		c.NumData = 15
+	}
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = 4
+	}
+	return c
+}
+
+// Workload is a generated pattern with its derived data graphs and the
+// label-similarity model.
+type Workload struct {
+	Config Config
+	G1     *graph.Graph
+	G2s    []*graph.Graph
+	// Truth[i][v] is the data-graph node holding the copy of pattern node
+	// v inside G2s[i] — the ground-truth embedding that guarantees each
+	// pair matches. Node IDs of every data graph are randomly permuted so
+	// that ID order leaks nothing about this embedding.
+	Truth [][]graph.NodeID
+
+	labels    []string
+	groupOf   map[string]int
+	groupSize int
+	simSeed   int64
+}
+
+// Generate builds a workload from cfg.
+func Generate(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numLabels := 5 * cfg.M
+	if numLabels < 1 {
+		numLabels = 1
+	}
+	groupSize := int(math.Sqrt(float64(numLabels)))
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	w := &Workload{
+		Config:    cfg,
+		labels:    make([]string, numLabels),
+		groupOf:   make(map[string]int, numLabels),
+		groupSize: groupSize,
+		simSeed:   cfg.Seed ^ 0x5DEECE66D,
+	}
+	for i := range w.labels {
+		l := fmt.Sprintf("l%d", i)
+		w.labels[i] = l
+		w.groupOf[l] = i / groupSize
+	}
+
+	w.G1 = w.generatePattern(rng)
+	for i := 0; i < cfg.NumData; i++ {
+		g2, truth := w.deriveData(rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)))
+		w.G2s = append(w.G2s, g2)
+		w.Truth = append(w.Truth, truth)
+	}
+	return w
+}
+
+func (w *Workload) randomLabel(rng *rand.Rand) string {
+	return w.labels[rng.Intn(len(w.labels))]
+}
+
+// generatePattern builds G1: m nodes, EdgeFactor·m distinct random edges
+// (no self-loops, which would demand cycles in the data).
+func (w *Workload) generatePattern(rng *rand.Rand) *graph.Graph {
+	m := w.Config.M
+	g := graph.New(m)
+	for i := 0; i < m; i++ {
+		g.AddNode(w.randomLabel(rng))
+	}
+	want := w.Config.EdgeFactor * m
+	maxPossible := m * (m - 1)
+	if want > maxPossible {
+		want = maxPossible
+	}
+	have := 0
+	for have < want {
+		from := graph.NodeID(rng.Intn(m))
+		to := graph.NodeID(rng.Intn(m))
+		if from == to || g.HasEdge(from, to) {
+			continue
+		}
+		g.AddEdge(from, to)
+		have++
+	}
+	g.Finish()
+	return g
+}
+
+// deriveData builds one G2 from G1 under the noise model and returns it
+// together with the ground-truth embedding of G1's nodes. The graph is
+// built copies-first and then node-permuted, so the returned IDs are
+// scattered.
+func (w *Workload) deriveData(rng *rand.Rand) (*graph.Graph, []graph.NodeID) {
+	g1 := w.G1
+	m := g1.NumNodes()
+	noise := w.Config.NoisePercent / 100
+
+	g2 := graph.New(m * 2)
+	for v := 0; v < m; v++ {
+		g2.AddNode(g1.Label(graph.NodeID(v)))
+	}
+	// (a) Edges survive or stretch into paths of 1–5 fresh nodes.
+	g1.Edges(func(from, to graph.NodeID) bool {
+		if rng.Float64() >= noise {
+			g2.AddEdge(from, to)
+			return true
+		}
+		hops := 1 + rng.Intn(5)
+		prev := from
+		for i := 0; i < hops; i++ {
+			mid := g2.AddNode(w.randomLabel(rng))
+			g2.AddEdge(prev, mid)
+			prev = mid
+		}
+		g2.AddEdge(prev, to)
+		return true
+	})
+	// (b) Decoy subgraphs of at most 10 nodes hang off original nodes.
+	for v := 0; v < m; v++ {
+		if rng.Float64() >= noise {
+			continue
+		}
+		size := 1 + rng.Intn(10)
+		members := make([]graph.NodeID, 0, size)
+		for i := 0; i < size; i++ {
+			members = append(members, g2.AddNode(w.randomLabel(rng)))
+		}
+		// Attach the subgraph root to the original node and wire a few
+		// random internal edges so the decoy has structure.
+		g2.AddEdge(graph.NodeID(v), members[0])
+		for i := 1; i < size; i++ {
+			g2.AddEdge(members[rng.Intn(i)], members[i])
+		}
+	}
+	g2.Finish()
+	// Scatter node IDs: without this, the copies occupy IDs 0..m-1 and a
+	// lowest-ID candidate pick would accidentally act as an oracle.
+	perm := rng.Perm(g2.NumNodes())
+	shuffled := graph.New(g2.NumNodes())
+	inv := make([]graph.NodeID, g2.NumNodes())
+	for newID, oldID := range invertPerm(perm) {
+		id := shuffled.AddNodeFull(g2.Node(graph.NodeID(oldID)))
+		inv[oldID] = id
+		_ = newID
+	}
+	g2.Edges(func(from, to graph.NodeID) bool {
+		shuffled.AddEdge(inv[from], inv[to])
+		return true
+	})
+	shuffled.Finish()
+	truth := make([]graph.NodeID, m)
+	for v := 0; v < m; v++ {
+		truth[v] = inv[v]
+	}
+	return shuffled, truth
+}
+
+// invertPerm returns the slice s with s[newID] = oldID given perm with
+// perm[oldID] = newID.
+func invertPerm(perm []int) []int {
+	s := make([]int, len(perm))
+	for oldID, newID := range perm {
+		s[newID] = oldID
+	}
+	return s
+}
+
+// Matrix returns the similarity matrix mat() between G1 and the given data
+// graph under the grouped-label model.
+func (w *Workload) Matrix(g2 *graph.Graph) simmatrix.Matrix {
+	return &groupedHash{g1: w.G1, g2: g2, w: w}
+}
+
+// LabelSimilarity exposes the label-level similarity model: 1 for equal
+// labels, 0 across groups, and a deterministic pseudo-random [0, 1] draw
+// inside a group.
+func (w *Workload) LabelSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ga, oka := w.groupOf[a]
+	gb, okb := w.groupOf[b]
+	if !oka || !okb || ga != gb {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", w.simSeed, a, b)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+type groupedHash struct {
+	g1, g2 *graph.Graph
+	w      *Workload
+}
+
+func (m *groupedHash) Score(v, u graph.NodeID) float64 {
+	return m.w.LabelSimilarity(m.g1.Label(v), m.g2.Label(u))
+}

@@ -1,0 +1,151 @@
+package vertexsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+func TestFloodIdenticalGraphs(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}})
+	m := Flood(g, g, simmatrix.NewLabelEquality(g, g), Options{})
+	// The diagonal should dominate its row: node i is most similar to i.
+	for v := 0; v < 3; v++ {
+		diag := m.Score(graph.NodeID(v), graph.NodeID(v))
+		for u := 0; u < 3; u++ {
+			if u == v {
+				continue
+			}
+			if m.Score(graph.NodeID(v), graph.NodeID(u)) > diag {
+				t.Errorf("node %d: off-diagonal %d beats diagonal (%v > %v)",
+					v, u, m.Score(graph.NodeID(v), graph.NodeID(u)), diag)
+			}
+		}
+	}
+}
+
+func TestFloodScoresBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(n int) *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode("x")
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g.Finish()
+		return g
+	}
+	g1, g2 := mk(8), mk(10)
+	m := Flood(g1, g2, simmatrix.Constant(0.5), Options{MaxIter: 20})
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 10; u++ {
+			s := m.Score(graph.NodeID(v), graph.NodeID(u))
+			if s < 0 || s > 1+1e-9 {
+				t.Fatalf("score out of range: %v", s)
+			}
+		}
+	}
+}
+
+func TestFloodZeroSeedStaysZero(t *testing.T) {
+	g1 := graph.FromEdgeList([]string{"a"}, nil)
+	g2 := graph.FromEdgeList([]string{"b"}, nil)
+	m := Flood(g1, g2, simmatrix.Constant(0), Options{})
+	if m.Score(0, 0) != 0 {
+		t.Fatal("zero seed with no propagation should stay zero")
+	}
+}
+
+func TestBlondelIdenticalGraphs(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c", "d"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	m := Blondel(g, g, Options{})
+	for v := 0; v < 4; v++ {
+		diag := m.Score(graph.NodeID(v), graph.NodeID(v))
+		for u := 0; u < 4; u++ {
+			if m.Score(graph.NodeID(v), graph.NodeID(u)) > diag+1e-9 {
+				t.Errorf("node %d: off-diagonal %d beats diagonal", v, u)
+			}
+		}
+	}
+}
+
+func TestBlondelHubAuthorityStructure(t *testing.T) {
+	// Hub-and-spoke vs chain: a hub (out-degree 3) should be more similar
+	// to the other graph's hub than to its leaves.
+	hub := graph.FromEdgeList([]string{"h", "l", "l", "l"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}})
+	hub2 := graph.FromEdgeList([]string{"h", "l", "l"},
+		[][2]int{{0, 1}, {0, 2}})
+	m := Blondel(hub, hub2, Options{})
+	hubScore := m.Score(0, 0)
+	leafScore := m.Score(0, 1)
+	if hubScore <= leafScore {
+		t.Fatalf("hub-hub %v should beat hub-leaf %v", hubScore, leafScore)
+	}
+}
+
+func TestExtractInjective(t *testing.T) {
+	d := simmatrix.NewDense(3, 2)
+	d.Set(0, 0, 0.9)
+	d.Set(1, 0, 0.8) // loses node 0 of G2 to row 0
+	d.Set(1, 1, 0.5)
+	d.Set(2, 1, 0.4) // loses node 1 of G2 to row 1
+	a := Extract(d)
+	if len(a.Pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 entries", a.Pairs)
+	}
+	if a.Pairs[0] != 0 || a.Pairs[1] != 1 {
+		t.Fatalf("pairs = %v, want 0→0, 1→1", a.Pairs)
+	}
+}
+
+func TestExtractGreedyOrder(t *testing.T) {
+	d := simmatrix.NewDense(2, 2)
+	d.Set(0, 0, 0.5)
+	d.Set(0, 1, 0.9)
+	d.Set(1, 1, 0.8)
+	a := Extract(d)
+	// Global best 0→1 (0.9) first; then 1 must take... nothing (1,0)=0.
+	if a.Pairs[0] != 1 {
+		t.Fatalf("expected 0→1, got %v", a.Pairs)
+	}
+	if _, ok := a.Pairs[1]; ok {
+		t.Fatalf("node 1 has no remaining candidate, got %v", a.Pairs)
+	}
+}
+
+func TestAlignmentQuality(t *testing.T) {
+	a := &Alignment{
+		Pairs:  map[graph.NodeID]graph.NodeID{0: 0, 1: 1},
+		Scores: map[graph.NodeID]float64{0: 0.9, 1: 0.3},
+	}
+	if got := a.Quality(4, 0.5); got != 0.25 {
+		t.Fatalf("quality = %v, want 0.25 (1 of 4 above threshold)", got)
+	}
+	if got := a.Quality(0, 0.5); got != 1 {
+		t.Fatalf("quality of empty pattern = %v, want 1", got)
+	}
+}
+
+func TestEndToEndSFOnSimilarGraphs(t *testing.T) {
+	// Two near-identical labelled graphs: SF should align most nodes to
+	// their counterparts.
+	g1 := graph.FromEdgeList([]string{"home", "news", "shop", "faq"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}, {2, 3}})
+	g2 := g1.Clone()
+	m := Flood(g1, g2, simmatrix.NewLabelEquality(g1, g2), Options{})
+	a := Extract(m)
+	for v := graph.NodeID(0); v < 4; v++ {
+		if a.Pairs[v] != v {
+			t.Fatalf("alignment %v, want identity", a.Pairs)
+		}
+	}
+	if q := a.Quality(4, 0.1); q != 1 {
+		t.Fatalf("quality = %v, want 1", q)
+	}
+}

@@ -1,0 +1,82 @@
+package vertexsim
+
+import (
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+func TestHITSHubAndAuthority(t *testing.T) {
+	// Star out: center links to 3 leaves — center is the hub, leaves are
+	// authorities.
+	g := graph.FromEdgeList([]string{"hub", "l", "l", "l"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}})
+	h := ComputeHITS(g, Options{})
+	if h.Hub[0] <= h.Hub[1] {
+		t.Errorf("center hub %v should beat leaf hub %v", h.Hub[0], h.Hub[1])
+	}
+	if h.Authority[1] <= h.Authority[0] {
+		t.Errorf("leaf authority %v should beat center authority %v", h.Authority[1], h.Authority[0])
+	}
+}
+
+func TestHITSConvergesOnCycle(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b", "c"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	h := ComputeHITS(g, Options{})
+	// Symmetry: all nodes identical by rotation.
+	for v := 1; v < 3; v++ {
+		if diff := h.Hub[v] - h.Hub[0]; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("cycle hub scores should be equal: %v", h.Hub)
+		}
+	}
+}
+
+func TestHITSEmptyGraph(t *testing.T) {
+	h := ComputeHITS(graph.New(0), Options{})
+	if len(h.Hub) != 0 || len(h.Authority) != 0 {
+		t.Fatal("empty graph should yield empty scores")
+	}
+}
+
+func TestHITSEdgelessGraph(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a", "b"}, nil)
+	h := ComputeHITS(g, Options{})
+	for v := 0; v < 2; v++ {
+		if h.Hub[v] != 0 || h.Authority[v] != 0 {
+			t.Errorf("edgeless scores should go to zero, got hub=%v auth=%v", h.Hub[v], h.Authority[v])
+		}
+	}
+}
+
+func TestApplyAsWeights(t *testing.T) {
+	g := graph.FromEdgeList([]string{"hub", "l", "l", "l"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}})
+	h := ComputeHITS(g, Options{})
+	h.ApplyAsWeights(g, 0.1)
+	// Every weight in (0, 1]; the most important node weighs 1.
+	maxW := 0.0
+	for v := 0; v < 4; v++ {
+		w := g.Weight(graph.NodeID(v))
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight out of range: %v", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+		if w < 0.1 {
+			t.Fatalf("weight below floor: %v", w)
+		}
+	}
+	if maxW != 1 {
+		t.Fatalf("max weight = %v, want 1", maxW)
+	}
+}
+
+func TestApplyAsWeightsEdgeless(t *testing.T) {
+	g := graph.FromEdgeList([]string{"a"}, nil)
+	h := ComputeHITS(g, Options{})
+	h.ApplyAsWeights(g, 0.1) // must not panic or divide by zero
+	if g.Weight(0) != 1 {
+		t.Fatalf("edgeless weight should stay at default 1, got %v", g.Weight(0))
+	}
+}

@@ -1,0 +1,557 @@
+// Package webgen generates Web-site archives standing in for the Stanford
+// WebBase data of Section 6 (1). The paper's Exp-1 needs, per site
+// category, a sequence of versions (snapshots) of one Web site whose
+// members are known to represent the same site; it then matches the oldest
+// version's skeleton against the ten later ones.
+//
+// Three categories mirror the paper's choices — online store, international
+// organization and online newspaper — differing in size, link density and,
+// crucially, churn: newspapers change content and structure rapidly
+// ("a typical feature of site 3 is its timeliness"), so later versions
+// drift away from the pattern faster; organizations barely change.
+//
+// A generated site is hierarchical, like real sites: a homepage links to
+// category hubs, categories fan out to section pages, sections mesh with
+// each other and fan out to leaf pages, leaf pages carry navigation
+// backlinks, and a sitemap page links deep into the leaves (providing the
+// degree maximum real crawls show). Under the degree-based skeleton rule
+// deg(v) ≥ avgDeg + α·maxDeg the sections (plus homepage and sitemap)
+// survive, reproducing Table 2's skeleton shapes: a few dozen to a few
+// hundred interlinked hub pages. Every page carries generated text content
+// so node similarity can be computed with shingles, exactly as in the
+// paper.
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"graphmatch/internal/graph"
+)
+
+// Category selects a site profile.
+type Category int
+
+// The three Web-site categories of Table 2.
+const (
+	Store        Category = iota + 1 // site 1: online store
+	Organization                     // site 2: international organization
+	Newspaper                        // site 3: online newspaper
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Store:
+		return "store"
+	case Organization:
+		return "organization"
+	case Newspaper:
+		return "newspaper"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Config parameterises an archive.
+type Config struct {
+	Category Category
+	// Pages approximates the page count of each version (default:
+	// category profile, which matches Table 2's site sizes).
+	Pages int
+	// Versions is the archive length (default 11, as in the paper).
+	Versions int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// profile bundles the category-specific generation knobs. The defaults
+// are tuned so that full-scale sites reproduce Table 2's statistics in
+// magnitude (page/edge counts, degree shape, skeleton sizes).
+type profile struct {
+	pages           int     // default page count (Table 2 site size)
+	sectionsPer     int     // leaf pages per section hub
+	categories      int     // category hubs under the homepage
+	meshDegree      int     // extra links between section hubs
+	backlinkRate    float64 // leaf → its section navigation links
+	homeRate        float64 // leaf → homepage links
+	crossRate       float64 // leaf → leaf links within a section
+	sitemapLinks    int     // sitemap out-degree (sets maxDeg)
+	catFanout       int     // category → featured-leaf links (stabilises top-K)
+	structChurn     float64 // per-version fraction of leaves replaced
+	rewireChurn     float64 // per-version fraction of hub links rewired
+	contentChurn    float64 // per-version fraction of leaf pages rewritten
+	hubContentChurn float64 // per-version fraction of hub pages rewritten
+	words           []string
+	wordsPerPage    int
+}
+
+func profileFor(c Category) profile {
+	switch c {
+	case Store:
+		return profile{
+			pages: 20000, sectionsPer: 80, categories: 15, meshDegree: 52,
+			backlinkRate: 0.25, homeRate: 0.005, crossRate: 0.9,
+			sitemapLinks: 510, catFanout: 400,
+			structChurn: 0.04, rewireChurn: 0.05,
+			contentChurn: 0.05, hubContentChurn: 0.033,
+			words:        storeWords,
+			wordsPerPage: 40,
+		}
+	case Organization:
+		return profile{
+			pages: 5400, sectionsPer: 120, categories: 4, meshDegree: 5,
+			backlinkRate: 0.6, homeRate: 0.005, crossRate: 4.0,
+			sitemapLinks: 640,
+			structChurn:  0.01, rewireChurn: 0.01,
+			contentChurn: 0.02, hubContentChurn: 0.008,
+			words:        orgWords,
+			wordsPerPage: 50,
+		}
+	case Newspaper:
+		return profile{
+			pages: 7000, sectionsPer: 45, categories: 10, meshDegree: 38,
+			backlinkRate: 0.6, homeRate: 0.005, crossRate: 0.8,
+			sitemapLinks: 420, catFanout: 250,
+			structChurn: 0.12, rewireChurn: 0.15,
+			contentChurn: 0.30, hubContentChurn: 0.050,
+			words:        newsWords,
+			wordsPerPage: 40,
+		}
+	default:
+		return profile{
+			pages: 500, sectionsPer: 50, categories: 4, meshDegree: 8,
+			backlinkRate: 0.3, homeRate: 0.005, crossRate: 1.0,
+			sitemapLinks: 60,
+			structChurn:  0.05, rewireChurn: 0.05,
+			contentChurn: 0.05, hubContentChurn: 0.05,
+			words:        storeWords,
+			wordsPerPage: 40,
+		}
+	}
+}
+
+// Archive is a sequence of site versions, oldest first.
+type Archive struct {
+	Config   Config
+	Versions []*graph.Graph
+}
+
+// Generate builds an archive of site versions.
+func Generate(cfg Config) *Archive {
+	if cfg.Versions == 0 {
+		cfg.Versions = 11
+	}
+	p := profileFor(cfg.Category)
+	if cfg.Pages > 0 {
+		p.pages = cfg.Pages
+	}
+	s := newSite(p, cfg.Seed)
+	arch := &Archive{Config: cfg}
+	for v := 0; v < cfg.Versions; v++ {
+		if v > 0 {
+			s.evolve()
+		}
+		arch.Versions = append(arch.Versions, s.snapshot())
+	}
+	return arch
+}
+
+// pageKind distinguishes the structural roles in the site hierarchy.
+type pageKind int
+
+const (
+	kindHome pageKind = iota
+	kindCategory
+	kindSection
+	kindSitemap
+	kindLeaf
+)
+
+type page struct {
+	label   string
+	kind    pageKind
+	section int
+	content string
+}
+
+// site is the mutable model a version sequence evolves over. Pages keep
+// their identity (index) across versions so content stays comparable.
+type site struct {
+	p        profile
+	rng      *rand.Rand
+	pages    []page
+	alive    []bool
+	out      []map[int]struct{}
+	home     int
+	sitemap  int
+	cats     []int
+	sections []int
+	// secWeight skews leaf placement: popular sections stay popular, so
+	// the top-K-by-degree skeleton keeps a stable membership across
+	// versions (as it does on real sites, where a few sections dominate).
+	secWeight []float64
+	secCum    []float64 // cumulative weights for sampling
+	// leavesBySection supports sampling same-section cross links; dead
+	// leaves are skipped at sampling time.
+	leavesBySection [][]int
+	serial          int // fresh-page counter for unique labels
+}
+
+// pickSection samples a section index proportionally to its weight.
+func (s *site) pickSection() int {
+	x := s.rng.Float64() * s.secCum[len(s.secCum)-1]
+	lo, hi := 0, len(s.secCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.secCum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func newSite(p profile, seed int64) *site {
+	s := &site{p: p, rng: rand.New(rand.NewSource(seed))}
+	numSections := p.pages / p.sectionsPer
+	if numSections < 2 {
+		numSections = 2
+	}
+	numCats := p.categories
+	if numCats < 1 {
+		numCats = 1
+	}
+	if numCats > numSections {
+		numCats = numSections
+	}
+
+	s.home = s.addPage(kindHome, 0)
+	cats := make([]int, numCats)
+	for i := range cats {
+		cats[i] = s.addPage(kindCategory, i)
+		s.link(s.home, cats[i])
+		s.link(cats[i], s.home)
+	}
+	s.cats = cats
+	s.sections = make([]int, numSections)
+	s.leavesBySection = make([][]int, numSections)
+	s.secWeight = make([]float64, numSections)
+	s.secCum = make([]float64, numSections)
+	cum := 0.0
+	for i := range s.sections {
+		s.sections[i] = s.addPage(kindSection, i)
+		cat := cats[i%numCats]
+		s.link(cat, s.sections[i])
+		s.link(s.sections[i], cat)
+		// Section popularity is skewed — a few sections dominate, as on
+		// real sites — with a deterministic rank component that keeps the
+		// top-of-the-order stable across versions. The spread stays mild
+		// enough that every section clears the α-skeleton threshold with
+		// margin (membership flapping would otherwise dominate matching
+		// error).
+		s.secWeight[i] = (0.7 + 0.6*s.rng.Float64()) * (1 + 2/float64(i+1))
+		cum += s.secWeight[i]
+		s.secCum[i] = cum
+	}
+	// Hub mesh: related sections link to each other (same category first,
+	// some cross-category).
+	for i, a := range s.sections {
+		for d := 0; d < s.p.meshDegree; d++ {
+			var b int
+			if d%3 != 2 && numSections > numCats {
+				// same-category neighbour
+				j := i
+				for j == i {
+					j = s.rng.Intn(numSections)
+				}
+				b = s.sections[j]
+			} else {
+				b = s.sections[s.rng.Intn(numSections)]
+			}
+			if b != a {
+				s.link(a, b)
+			}
+		}
+	}
+	// Leaves, placed by section popularity.
+	for len(s.pages) < p.pages-1 {
+		sec := s.pickSection()
+		s.addLeaf(s.sections[sec], sec)
+	}
+	// Category "featured" fan-out: categories link deep into leaves, as
+	// portal pages do. This lifts category degrees well above the section
+	// band, so the top-K-by-degree skeleton keeps a stable core (home,
+	// sitemap, categories) across versions.
+	s.refillFeatured()
+	// Sitemap: a deep index page with very high out-degree; it provides
+	// the degree maximum that real crawls exhibit (Table 2's maxDeg).
+	s.sitemap = s.addPage(kindSitemap, 0)
+	s.link(s.home, s.sitemap)
+	s.link(s.sitemap, s.home)
+	s.refillSitemap()
+	return s
+}
+
+// refillFeatured keeps every category's featured-leaf fan-out topped up
+// to the profile's catFanout (bounded by a tenth of the site), replacing
+// links to churned-away leaves.
+func (s *site) refillFeatured() {
+	want := s.p.catFanout
+	if want <= 0 {
+		return
+	}
+	if limit := len(s.pages) / 10; want > limit {
+		want = limit
+	}
+	for _, cat := range s.cats {
+		current := 0
+		for t := range s.out[cat] {
+			if !s.alive[t] {
+				delete(s.out[cat], t)
+			} else if s.pages[t].kind == kindLeaf {
+				current++
+			}
+		}
+		for attempts := 0; current < want && attempts < 20*want; attempts++ {
+			t := s.rng.Intn(len(s.pages))
+			if s.alive[t] && s.pages[t].kind == kindLeaf {
+				if _, dup := s.out[cat][t]; !dup {
+					s.link(cat, t)
+					current++
+				}
+			}
+		}
+	}
+}
+
+// refillSitemap tops the sitemap's targets up to the profile's out-degree
+// (bounded by an eighth of the site so small test sites stay sane).
+func (s *site) refillSitemap() {
+	want := s.p.sitemapLinks
+	if limit := len(s.pages) / 8; want > limit {
+		want = limit
+	}
+	// Drop links to dead pages first.
+	for t := range s.out[s.sitemap] {
+		if !s.alive[t] {
+			delete(s.out[s.sitemap], t)
+		}
+	}
+	for attempts := 0; len(s.out[s.sitemap]) < want && attempts < 20*want; attempts++ {
+		t := s.rng.Intn(len(s.pages))
+		if s.alive[t] && s.pages[t].kind == kindLeaf {
+			s.link(s.sitemap, t)
+		}
+	}
+}
+
+func (s *site) addPage(kind pageKind, section int) int {
+	id := len(s.pages)
+	s.serial++
+	var label string
+	switch kind {
+	case kindHome:
+		label = "/"
+	case kindCategory:
+		label = fmt.Sprintf("/cat-%d/", section)
+	case kindSection:
+		label = fmt.Sprintf("/section-%d/", section)
+	case kindSitemap:
+		label = "/sitemap"
+	default:
+		label = fmt.Sprintf("/section-%d/page-%d", section, s.serial)
+	}
+	s.pages = append(s.pages, page{
+		label:   label,
+		kind:    kind,
+		section: section,
+		content: s.generateContent(kind, section),
+	})
+	s.alive = append(s.alive, true)
+	s.out = append(s.out, make(map[int]struct{}))
+	return id
+}
+
+func (s *site) addLeaf(sectionPage, section int) int {
+	id := s.addPage(kindLeaf, section)
+	s.link(sectionPage, id)
+	if s.rng.Float64() < s.p.backlinkRate {
+		s.link(id, sectionPage)
+	}
+	if s.rng.Float64() < s.p.homeRate {
+		s.link(id, s.home)
+	}
+	// Cross links to other leaves of the same section.
+	n := int(s.p.crossRate)
+	if s.rng.Float64() < s.p.crossRate-float64(n) {
+		n++
+	}
+	peers := s.leavesBySection[section]
+	for i := 0; i < n && len(peers) > 0; i++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			other := peers[s.rng.Intn(len(peers))]
+			if s.alive[other] && other != id {
+				s.link(id, other)
+				break
+			}
+		}
+	}
+	s.leavesBySection[section] = append(peers, id)
+	return id
+}
+
+func (s *site) link(from, to int) {
+	if from != to {
+		s.out[from][to] = struct{}{}
+	}
+}
+
+// generateContent samples wordsPerPage tokens. Leaf pages combine a stable
+// section topic with page-specific words. Hub pages (home, categories,
+// sections, sitemap) lead with a long site-wide template — real section
+// fronts share navigation and boilerplate — so any two hubs of one site
+// resemble each other at around 0.4: far below the matching threshold ξ
+// (p-hom candidate sets stay clean) but plenty for similarity flooding to
+// smear scores across hubs, which is exactly the ambiguity that separates
+// the two methods on large skeletons.
+func (s *site) generateContent(kind pageKind, section int) string {
+	pool := s.p.words
+	w := s.p.wordsPerPage
+	buf := make([]byte, 0, w*8)
+	emit := func(word string) {
+		if len(buf) > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, word...)
+	}
+	if kind == kindLeaf {
+		topicStart := (section * 7) % len(pool)
+		for i := 0; i < w/2; i++ {
+			emit(pool[(topicStart+i)%len(pool)])
+		}
+		for i := 0; i < w-w/2; i++ {
+			emit(pool[s.rng.Intn(len(pool))])
+		}
+		return string(buf)
+	}
+	// Hub page: 60% site template, 20% section topic, 20% page-specific.
+	template := (3 * w) / 5
+	topic := w / 5
+	for i := 0; i < template; i++ {
+		emit(pool[i%len(pool)])
+	}
+	topicStart := (section*7 + 13) % len(pool)
+	for i := 0; i < topic; i++ {
+		emit(pool[(topicStart+i)%len(pool)])
+	}
+	for i := 0; i < w-template-topic; i++ {
+		emit(pool[s.rng.Intn(len(pool))])
+	}
+	return string(buf)
+}
+
+// evolve advances the site by one archive step: leaves churn, hub links
+// rewire, some pages are rewritten, and the sitemap heals.
+func (s *site) evolve() {
+	var leaves []int
+	for id := range s.pages {
+		if s.alive[id] && s.pages[id].kind == kindLeaf {
+			leaves = append(leaves, id)
+		}
+	}
+	// Structural churn: replace a fraction of the leaves.
+	churn := int(float64(len(leaves)) * s.p.structChurn)
+	for i := 0; i < churn; i++ {
+		victim := leaves[s.rng.Intn(len(leaves))]
+		if s.alive[victim] {
+			s.alive[victim] = false
+		}
+		si := s.pickSection()
+		s.addLeaf(s.sections[si], s.pages[s.sections[si]].section)
+	}
+	// Rewire churn on the hub mesh. Collect targets in sorted order first:
+	// map iteration order is random and would consume the RNG
+	// nondeterministically.
+	for _, a := range s.sections {
+		targets := make([]int, 0, len(s.out[a]))
+		for b := range s.out[a] {
+			if s.alive[b] && s.pages[b].kind == kindSection {
+				targets = append(targets, b)
+			}
+		}
+		sort.Ints(targets)
+		for _, b := range targets {
+			if s.rng.Float64() < s.p.rewireChurn {
+				delete(s.out[a], b)
+				nb := s.sections[s.rng.Intn(len(s.sections))]
+				s.link(a, nb)
+			}
+		}
+	}
+	// Content churn: rewrite whole pages so their shingle sets diverge.
+	// Hubs (which dominate the skeletons) churn at their own, usually
+	// slower, rate — section fronts change less than leaf articles.
+	for id := range s.pages {
+		if !s.alive[id] {
+			continue
+		}
+		rate := s.p.contentChurn
+		if s.pages[id].kind != kindLeaf {
+			rate = s.p.hubContentChurn
+		}
+		if s.rng.Float64() < rate {
+			s.pages[id].content = s.generateContent(s.pages[id].kind, s.pages[id].section)
+		}
+	}
+	s.refillFeatured()
+	s.refillSitemap()
+}
+
+// snapshot freezes the current site state into a graph. Page order is by
+// internal id, so node IDs are stable for surviving pages within one
+// archive (new pages get fresh labels).
+func (s *site) snapshot() *graph.Graph {
+	idOf := make(map[int]graph.NodeID, len(s.pages))
+	g := graph.New(len(s.pages))
+	for id := range s.pages {
+		if !s.alive[id] {
+			continue
+		}
+		nid := g.AddNodeFull(graph.Node{
+			Label:   s.pages[id].label,
+			Weight:  1,
+			Content: s.pages[id].content,
+		})
+		idOf[id] = nid
+	}
+	for from := range s.pages {
+		nf, ok := idOf[from]
+		if !ok {
+			continue
+		}
+		for to := range s.out[from] {
+			if nt, ok := idOf[to]; ok {
+				g.AddEdge(nf, nt)
+			}
+		}
+	}
+	g.Finish()
+	return g
+}
+
+// Skeleton extracts the α-degree skeleton of Section 6 as an induced
+// subgraph: nodes with deg(v) ≥ avgDeg(G) + α·maxDeg(G).
+func Skeleton(g *graph.Graph, alpha float64) *graph.Graph {
+	sub, _ := g.InducedSubgraph(graph.DegreeSkeleton(g, alpha))
+	return sub
+}
+
+// TopKSkeleton extracts the induced subgraph on the k highest-degree
+// nodes — "skeletons 2" of Table 2, constructed to favour cdkMCS.
+func TopKSkeleton(g *graph.Graph, k int) *graph.Graph {
+	sub, _ := g.InducedSubgraph(graph.TopKByDegree(g, k))
+	return sub
+}

@@ -1,0 +1,46 @@
+package webgen
+
+// Word pools for page-content generation, one per site category. Content
+// similarity across versions is what drives the shingle-based node
+// similarity, so the pools only need to be large enough that rewritten
+// pages stop resembling their old selves.
+
+var storeWords = []string{
+	"books", "textbooks", "audiobooks", "albums", "music", "digital",
+	"cart", "checkout", "shipping", "returns", "bestsellers", "fiction",
+	"nonfiction", "children", "science", "history", "biography", "mystery",
+	"romance", "fantasy", "paperback", "hardcover", "ebook", "reader",
+	"discount", "sale", "price", "order", "wishlist", "review", "rating",
+	"author", "publisher", "edition", "series", "boxset", "gift", "card",
+	"electronics", "camera", "laptop", "tablet", "phone", "accessory",
+	"warranty", "delivery", "stock", "category", "browse", "search",
+	"recommendation", "deal", "coupon", "member", "prime", "subscribe",
+	"vinyl", "compact", "disc", "movie", "bluray", "stream",
+}
+
+var orgWords = []string{
+	"charter", "member", "states", "council", "assembly", "resolution",
+	"treaty", "secretariat", "committee", "session", "agenda", "report",
+	"development", "humanitarian", "peacekeeping", "rights", "health",
+	"education", "climate", "sustainable", "goals", "partnership",
+	"delegation", "ambassador", "summit", "declaration", "convention",
+	"protocol", "ratification", "mandate", "mission", "field", "office",
+	"regional", "programme", "fund", "budget", "donor", "grant", "policy",
+	"governance", "transparency", "accountability", "statistics", "survey",
+	"publication", "library", "archive", "press", "briefing", "statement",
+	"speech", "observance", "anniversary", "headquarters", "liaison",
+	"refugee", "migration", "disarmament", "security",
+}
+
+var newsWords = []string{
+	"breaking", "headline", "exclusive", "report", "update", "live",
+	"politics", "election", "parliament", "economy", "market", "stocks",
+	"business", "technology", "science", "health", "sports", "football",
+	"tennis", "olympics", "weather", "forecast", "storm", "culture",
+	"cinema", "theatre", "review", "opinion", "editorial", "column",
+	"letters", "obituary", "crossword", "puzzle", "photo", "gallery",
+	"video", "podcast", "newsletter", "subscription", "archive",
+	"correspondent", "bureau", "wire", "agency", "interview", "analysis",
+	"investigation", "scandal", "verdict", "trial", "court", "crime",
+	"accident", "traffic", "local", "national", "world", "region",
+}

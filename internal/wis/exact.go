@@ -1,0 +1,94 @@
+package wis
+
+import "graphmatch/internal/bitset"
+
+// Exact exponential solvers, used by tests to validate the approximation
+// algorithms and by the experiment harness on tiny instances. All operate
+// by branch-and-bound over bitsets and are only suitable for graphs of a
+// few dozen nodes.
+
+// ExactMaxIS returns a maximum independent set.
+func (g *Graph) ExactMaxIS() []int {
+	within := bitset.New(g.n)
+	within.Fill()
+	best := bitset.New(g.n)
+	cur := bitset.New(g.n)
+	g.misBranch(within, cur, &best)
+	return best.Slice()
+}
+
+func (g *Graph) misBranch(within, cur *bitset.Set, best **bitset.Set) {
+	if cur.Count()+within.Count() <= (*best).Count() {
+		return // bound: even taking everything left cannot beat best
+	}
+	v := within.Next(0)
+	if v < 0 {
+		if cur.Count() > (*best).Count() {
+			*best = cur.Clone()
+		}
+		return
+	}
+	// Branch 1: include v.
+	w1 := within.Clone()
+	w1.Remove(v)
+	w1.AndNot(g.adj[v])
+	cur.Add(v)
+	g.misBranch(w1, cur, best)
+	cur.Remove(v)
+	// Branch 2: exclude v.
+	w2 := within.Clone()
+	w2.Remove(v)
+	g.misBranch(w2, cur, best)
+}
+
+// ExactMaxClique returns a maximum clique (via max IS on the complement).
+func (g *Graph) ExactMaxClique() []int {
+	return g.Complement().ExactMaxIS()
+}
+
+// ExactMaxWeightIS returns an independent set of maximum total weight.
+func (g *Graph) ExactMaxWeightIS() []int {
+	within := bitset.New(g.n)
+	within.Fill()
+	var best []int
+	bestW := -1.0
+	var cur []int
+	var curW float64
+	// Upper bound helper: total weight of remaining candidates.
+	var rec func(within *bitset.Set)
+	rec = func(within *bitset.Set) {
+		restW := 0.0
+		for v := within.Next(0); v >= 0; v = within.Next(v + 1) {
+			restW += g.weight[v]
+		}
+		if curW+restW <= bestW {
+			return
+		}
+		v := within.Next(0)
+		if v < 0 {
+			if curW > bestW {
+				bestW = curW
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		// Include v.
+		w1 := within.Clone()
+		w1.Remove(v)
+		w1.AndNot(g.adj[v])
+		cur = append(cur, v)
+		curW += g.weight[v]
+		rec(w1)
+		cur = cur[:len(cur)-1]
+		curW -= g.weight[v]
+		// Exclude v.
+		w2 := within.Clone()
+		w2.Remove(v)
+		rec(w2)
+	}
+	rec(within)
+	if best == nil {
+		return []int{}
+	}
+	return best
+}

@@ -1,0 +1,274 @@
+// Package wis implements the (weighted) independent set and clique
+// machinery the paper builds on:
+//
+//   - Ramsey and CliqueRemoval from Boppana & Halldórsson [7], which
+//     guarantee an O(log²n / n) approximation for maximum independent set;
+//   - ISRemoval (Fig. 9 of the paper), the dual of CliqueRemoval, which
+//     finds a large clique by repeatedly removing independent sets —
+//     compMaxCard simulates exactly this procedure on the product graph
+//     (proof of Proposition 5.2);
+//   - MaxWeightIS, Halldórsson's weighted extension [16]: drop nodes
+//     lighter than W/n, split the rest into log n weight buckets
+//     [W/2^i, W/2^(i-1)), solve each bucket unweighted, return the best —
+//     compMaxSim borrows this exact trick;
+//   - exact exponential solvers for cross-checking on small graphs.
+//
+// Graphs here are undirected with adjacency bitsets; they are the target
+// representation of the product-graph reductions in internal/product.
+package wis
+
+import (
+	"math"
+
+	"graphmatch/internal/bitset"
+)
+
+// Graph is an undirected graph over dense node IDs with optional node
+// weights (default 1).
+type Graph struct {
+	n      int
+	adj    []*bitset.Set
+	weight []float64
+}
+
+// NewGraph returns an edgeless undirected graph with n nodes of weight 1.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]*bitset.Set, n), weight: make([]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+		g.weight[i] = 1
+	}
+	return g
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored (an
+// independent set can never contain a self-adjacent node, and the product
+// construction never emits them).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u].Contains(v) }
+
+// NumEdges reports the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, row := range g.adj {
+		total += row.Count()
+	}
+	return total / 2
+}
+
+// Neighbors returns the adjacency bitset of v (shared, do not modify).
+func (g *Graph) Neighbors(v int) *bitset.Set { return g.adj[v] }
+
+// SetWeight assigns node weight w(v).
+func (g *Graph) SetWeight(v int, w float64) { g.weight[v] = w }
+
+// Weight reports w(v).
+func (g *Graph) Weight(v int) float64 { return g.weight[v] }
+
+// WeightOf sums the weights of the given nodes.
+func (g *Graph) WeightOf(nodes []int) float64 {
+	total := 0.0
+	for _, v := range nodes {
+		total += g.weight[v]
+	}
+	return total
+}
+
+// Complement returns the complement graph (no self-loops), used by the
+// SPH→WIS reduction which complements the product graph.
+func (g *Graph) Complement() *Graph {
+	c := NewGraph(g.n)
+	copy(c.weight, g.weight)
+	for v := 0; v < g.n; v++ {
+		row := c.adj[v]
+		row.Fill()
+		row.AndNot(g.adj[v])
+		row.Remove(v)
+	}
+	return c
+}
+
+// IsIndependentSet reports whether nodes are pairwise non-adjacent.
+func (g *Graph) IsIndependentSet(nodes []int) bool {
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			if g.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsClique reports whether nodes are pairwise adjacent.
+func (g *Graph) IsClique(nodes []int) bool {
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			if !g.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ramsey computes an independent set and a clique of the subgraph induced
+// by within, following procedure Ramsey of Fig. 9: pick a node v, recurse
+// on its neighbours and non-neighbours, and keep the larger of the two
+// candidate sets on each side. Both returned sets are fresh bitsets over
+// the full node range.
+func (g *Graph) Ramsey(within *bitset.Set) (is, clique *bitset.Set) {
+	v := within.Next(0)
+	if v < 0 {
+		return bitset.New(g.n), bitset.New(g.n)
+	}
+	neigh := within.Clone()
+	neigh.And(g.adj[v])
+	nonNeigh := within.Clone()
+	nonNeigh.AndNot(g.adj[v])
+	nonNeigh.Remove(v)
+
+	c1, i1 := g.ramseyNC(neigh)
+	c2, i2 := g.ramseyNC(nonNeigh)
+
+	i2.Add(v)
+	if i2.Count() >= i1.Count() {
+		is = i2
+	} else {
+		is = i1
+	}
+	c1.Add(v)
+	if c1.Count() >= c2.Count() {
+		clique = c1
+	} else {
+		clique = c2
+	}
+	return is, clique
+}
+
+// ramseyNC mirrors Ramsey but returns (clique, is) to match Fig. 9's
+// (C, I) ordering internally.
+func (g *Graph) ramseyNC(within *bitset.Set) (clique, is *bitset.Set) {
+	i, c := g.Ramsey(within)
+	return c, i
+}
+
+// CliqueRemoval is the Boppana–Halldórsson approximation for maximum
+// independent set: repeatedly run Ramsey, record the independent set, and
+// delete the clique from the graph; return the largest independent set
+// seen. Performance guarantee O(log²n / n).
+func (g *Graph) CliqueRemoval() []int {
+	remaining := bitset.New(g.n)
+	remaining.Fill()
+	best := bitset.New(g.n)
+	for !remaining.Empty() {
+		is, clique := g.Ramsey(remaining)
+		if is.Count() > best.Count() {
+			best = is
+		}
+		remaining.AndNot(clique)
+	}
+	return best.Slice()
+}
+
+// ISRemoval is algorithm ISRemoval of Fig. 9 — the dual of CliqueRemoval:
+// repeatedly run Ramsey, record the clique, and delete the independent set;
+// return the largest clique seen.
+func (g *Graph) ISRemoval() []int {
+	remaining := bitset.New(g.n)
+	remaining.Fill()
+	best := bitset.New(g.n)
+	for !remaining.Empty() {
+		is, clique := g.Ramsey(remaining)
+		if clique.Count() > best.Count() {
+			best = clique
+		}
+		remaining.AndNot(is)
+	}
+	return best.Slice()
+}
+
+// MaxWeightIS approximates maximum weight independent set with
+// Halldórsson's bucket partition [16]: nodes lighter than W/n are dropped
+// (they cannot contribute more than W in total), the remaining nodes are
+// partitioned into ⌈log₂ n⌉ buckets by weight range [W/2^i, W/2^(i-1)),
+// CliqueRemoval runs on each bucket-induced subgraph, and the heaviest
+// resulting set wins.
+func (g *Graph) MaxWeightIS() []int {
+	if g.n == 0 {
+		return nil
+	}
+	maxW := 0.0
+	for _, w := range g.weight {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW <= 0 {
+		return nil
+	}
+	floor := maxW / float64(g.n)
+	buckets := int(math.Ceil(math.Log2(float64(g.n)))) + 1
+	if buckets < 1 {
+		buckets = 1
+	}
+	groups := make([][]int, buckets)
+	for v := 0; v < g.n; v++ {
+		w := g.weight[v]
+		if w < floor || w <= 0 {
+			continue
+		}
+		// Bucket i holds weights in (W/2^(i+1), W/2^i].
+		i := 0
+		if w < maxW {
+			i = int(math.Floor(math.Log2(maxW / w)))
+		}
+		if i >= buckets {
+			i = buckets - 1
+		}
+		groups[i] = append(groups[i], v)
+	}
+	var best []int
+	bestW := -1.0
+	for _, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		within := bitset.New(g.n)
+		for _, v := range members {
+			within.Add(v)
+		}
+		set := g.cliqueRemovalWithin(within)
+		if w := g.WeightOf(set); w > bestW {
+			bestW = w
+			best = set
+		}
+	}
+	return best
+}
+
+// cliqueRemovalWithin runs CliqueRemoval restricted to the induced
+// subgraph on within.
+func (g *Graph) cliqueRemovalWithin(within *bitset.Set) []int {
+	remaining := within.Clone()
+	best := bitset.New(g.n)
+	for !remaining.Empty() {
+		is, clique := g.Ramsey(remaining)
+		if is.Count() > best.Count() {
+			best = is
+		}
+		remaining.AndNot(clique)
+	}
+	return best.Slice()
+}

@@ -1,0 +1,300 @@
+package wis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphmatch/internal/bitset"
+)
+
+func randomUndirected(seed int64, n int, p float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeUndirected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 2)
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("edge should be symmetric")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(1, 1)
+	if g.HasEdge(1, 1) || g.NumEdges() != 0 {
+		t.Error("self-loops must be ignored")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	c := g.Complement()
+	if c.HasEdge(0, 1) {
+		t.Error("complement kept original edge")
+	}
+	if !c.HasEdge(0, 2) || !c.HasEdge(1, 2) {
+		t.Error("complement missing edges")
+	}
+	if c.HasEdge(0, 0) {
+		t.Error("complement introduced self-loop")
+	}
+	// Complement is an involution.
+	cc := c.Complement()
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if cc.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("complement not involutive at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestIsIndependentSetAndClique(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	if !g.IsClique([]int{0, 1, 2}) {
+		t.Error("triangle should be a clique")
+	}
+	if g.IsIndependentSet([]int{0, 1}) {
+		t.Error("adjacent nodes are not independent")
+	}
+	if !g.IsIndependentSet([]int{0, 3}) {
+		t.Error("non-adjacent nodes are independent")
+	}
+}
+
+func TestRamseyReturnsValidSets(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomUndirected(seed, 25, 0.3)
+		within := bitset.New(25)
+		within.Fill()
+		is, clique := g.Ramsey(within)
+		if !g.IsIndependentSet(is.Slice()) {
+			t.Fatalf("seed %d: Ramsey IS invalid: %v", seed, is.Slice())
+		}
+		if !g.IsClique(clique.Slice()) {
+			t.Fatalf("seed %d: Ramsey clique invalid: %v", seed, clique.Slice())
+		}
+		if is.Empty() || clique.Empty() {
+			t.Fatalf("seed %d: Ramsey returned empty set on nonempty graph", seed)
+		}
+	}
+}
+
+func TestRamseyEmptyGraph(t *testing.T) {
+	g := NewGraph(5)
+	is, clique := g.Ramsey(bitset.New(5))
+	if !is.Empty() || !clique.Empty() {
+		t.Error("Ramsey on empty within should return empty sets")
+	}
+}
+
+func TestCliqueRemovalValidAndNontrivial(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomUndirected(seed, 30, 0.25)
+		is := g.CliqueRemoval()
+		if !g.IsIndependentSet(is) {
+			t.Fatalf("seed %d: CliqueRemoval returned non-IS %v", seed, is)
+		}
+		if len(is) == 0 {
+			t.Fatalf("seed %d: CliqueRemoval returned empty set", seed)
+		}
+	}
+}
+
+func TestISRemovalValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomUndirected(seed, 30, 0.5)
+		c := g.ISRemoval()
+		if !g.IsClique(c) {
+			t.Fatalf("seed %d: ISRemoval returned non-clique %v", seed, c)
+		}
+		if len(c) == 0 {
+			t.Fatalf("seed %d: ISRemoval returned empty clique", seed)
+		}
+	}
+}
+
+func TestCliqueRemovalOnEdgelessGraph(t *testing.T) {
+	g := NewGraph(10)
+	is := g.CliqueRemoval()
+	if len(is) != 10 {
+		t.Fatalf("edgeless graph: IS size = %d, want 10", len(is))
+	}
+}
+
+func TestCliqueRemovalOnCompleteGraph(t *testing.T) {
+	g := NewGraph(8)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	is := g.CliqueRemoval()
+	if len(is) != 1 {
+		t.Fatalf("complete graph: IS size = %d, want 1", len(is))
+	}
+	c := g.ISRemoval()
+	if len(c) != 8 {
+		t.Fatalf("complete graph: clique size = %d, want 8", len(c))
+	}
+}
+
+func TestExactMaxIS(t *testing.T) {
+	// 5-cycle has max IS of size 2.
+	g := NewGraph(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	is := g.ExactMaxIS()
+	if len(is) != 2 {
+		t.Fatalf("C5 max IS = %d, want 2", len(is))
+	}
+	if !g.IsIndependentSet(is) {
+		t.Fatal("exact IS invalid")
+	}
+}
+
+func TestExactMaxClique(t *testing.T) {
+	// Triangle plus pendant: max clique 3.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	c := g.ExactMaxClique()
+	if len(c) != 3 {
+		t.Fatalf("max clique = %d, want 3", len(c))
+	}
+	if !g.IsClique(c) {
+		t.Fatal("exact clique invalid")
+	}
+}
+
+func TestExactMaxWeightIS(t *testing.T) {
+	// Path 0-1-2; weights 1, 5, 1. Max weight IS = {1} (5) beats {0,2} (2).
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.SetWeight(1, 5)
+	is := g.ExactMaxWeightIS()
+	if g.WeightOf(is) != 5 {
+		t.Fatalf("max weight IS weight = %v, want 5 (set %v)", g.WeightOf(is), is)
+	}
+}
+
+func TestApproxNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(14)
+		g := randomUndirected(seed, n, 0.3)
+		approx := g.CliqueRemoval()
+		exact := g.ExactMaxIS()
+		return g.IsIndependentSet(approx) && len(approx) <= len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISRemovalNeverBeatsExactClique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		g := randomUndirected(seed, n, 0.5)
+		approx := g.ISRemoval()
+		exact := g.ExactMaxClique()
+		return g.IsClique(approx) && len(approx) <= len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWeightISValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		g := randomUndirected(seed, n, 0.3)
+		for v := 0; v < n; v++ {
+			g.SetWeight(v, 0.1+rng.Float64()*9.9)
+		}
+		approx := g.MaxWeightIS()
+		exact := g.ExactMaxWeightIS()
+		return g.IsIndependentSet(approx) &&
+			g.WeightOf(approx) <= g.WeightOf(exact)+1e-9 &&
+			len(approx) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWeightISUniformMatchesUnweightedBehaviour(t *testing.T) {
+	g := randomUndirected(3, 20, 0.3)
+	is := g.MaxWeightIS()
+	if !g.IsIndependentSet(is) || len(is) == 0 {
+		t.Fatal("uniform-weight MaxWeightIS invalid")
+	}
+}
+
+func TestMaxWeightISEmptyGraph(t *testing.T) {
+	g := NewGraph(0)
+	if got := g.MaxWeightIS(); len(got) != 0 {
+		t.Fatalf("empty graph IS = %v", got)
+	}
+}
+
+// Ramsey guarantee sanity: on a graph with an independent set of size k and
+// no large cliques, CliqueRemoval should find a reasonably large IS. We
+// check the specific structural case of a perfect matching (n/2 disjoint
+// edges): max IS = n/2 and CliqueRemoval finds it exactly, since every
+// "clique" Ramsey can remove has ≤ 2 nodes.
+func TestCliqueRemovalOnPerfectMatching(t *testing.T) {
+	n := 20
+	g := NewGraph(n)
+	for i := 0; i < n; i += 2 {
+		g.AddEdge(i, i+1)
+	}
+	is := g.CliqueRemoval()
+	if len(is) != n/2 {
+		t.Fatalf("matching: IS = %d, want %d", len(is), n/2)
+	}
+}
+
+func BenchmarkCliqueRemoval(b *testing.B) {
+	g := randomUndirected(1, 200, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CliqueRemoval()
+	}
+}
+
+func BenchmarkMaxWeightIS(b *testing.B) {
+	g := randomUndirected(1, 200, 0.1)
+	rng := rand.New(rand.NewSource(2))
+	for v := 0; v < 200; v++ {
+		g.SetWeight(v, rng.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaxWeightIS()
+	}
+}
