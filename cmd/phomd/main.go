@@ -1,0 +1,113 @@
+// Command phomd serves the p-hom matching engine over HTTP/JSON.
+//
+//	phomd -addr :8080 -workers 8 -load web=site.json -load base=base.json
+//
+// Data graphs can be preloaded with repeated -load name=path flags
+// (path is a JSON graph in the documented wire format, as produced by
+// cmd/datagen) or registered at runtime:
+//
+//	curl -X POST localhost:8080/v1/graphs \
+//	     -d '{"name": "web", "graph": {"nodes": [...], "edges": [...]}}'
+//	curl -X POST localhost:8080/v1/match \
+//	     -d '{"pattern": {...}, "graph": "web", "algo": "maxcard", "xi": 0.75}'
+//	curl localhost:8080/v1/stats
+//
+// Every registered graph's transitive closure is computed once and
+// shared across all requests; /v1/stats reports the closure-cache hit
+// rate alongside engine throughput counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/httpapi"
+)
+
+// loadFlags collects repeated -load name=path pairs.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	maxClosures := flag.Int("max-closures", 0, "LRU bound on resident reachability indexes (0 = default)")
+	queueDepth := flag.Int("queue", 0, "pending-request queue depth (0 = 4×workers)")
+	maxExact := flag.Int("max-exact-nodes", 16, "largest pattern accepted for the exponential decide/decide11 algorithms (0 = unlimited)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:        *workers,
+		MaxClosures:    *maxClosures,
+		QueueDepth:     *queueDepth,
+		ExactNodeLimit: *maxExact,
+	})
+	defer eng.Close()
+
+	for _, spec := range loads {
+		name, path, _ := strings.Cut(spec, "=")
+		g, err := loadGraph(path)
+		if err != nil {
+			log.Fatalf("phomd: loading %s: %v", spec, err)
+		}
+		start := time.Now()
+		if err := eng.Register(name, g); err != nil {
+			log.Fatalf("phomd: registering %q: %v", name, err)
+		}
+		log.Printf("registered %q: %d nodes, %d edges (closure in %v)",
+			name, g.NumNodes(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("phomd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("phomd listening on %s (%d workers)", *addr, eng.Stats().Workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("phomd: %v", err)
+	}
+	log.Printf("phomd stopped")
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadJSON(f)
+}

@@ -1,0 +1,69 @@
+package graphmatch
+
+import (
+	"graphmatch/internal/engine"
+)
+
+// Serving layer. Engine turns the one-shot Matcher library into a
+// long-lived service: data graphs are registered once in a catalog
+// that computes and shares each graph's reachability index (with an
+// LRU bound on resident closures), and match requests are dispatched
+// over a worker pool that coalesces duplicate in-flight work. See
+// cmd/phomd for the HTTP transport over this API and DESIGN.md for the
+// architecture.
+type (
+	// Engine schedules match requests against registered data graphs.
+	// Create one with NewEngine; Close it to release the worker pool.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine (worker count, closure-cache
+	// bound, queue depth). The zero value picks sensible defaults.
+	EngineOptions = engine.Options
+	// MatchRequest is one unit of engine work: a pattern, the name of
+	// a registered data graph, an algorithm, ξ, and variants.
+	MatchRequest = engine.Request
+	// MatchResult carries a mapping, the paper's quality metrics,
+	// timing, and the coalescing flag.
+	MatchResult = engine.Result
+	// EngineAlgorithm names a matching procedure in a MatchRequest.
+	EngineAlgorithm = engine.Algorithm
+	// SimKind selects how a request derives its similarity matrix.
+	SimKind = engine.SimKind
+)
+
+// Engine algorithm names.
+const (
+	// AlgoMaxCard runs compMaxCard (CPH approximation, Fig. 3).
+	AlgoMaxCard = engine.MaxCard
+	// AlgoMaxCard11 runs compMaxCard1−1 (CPH1-1).
+	AlgoMaxCard11 = engine.MaxCard11
+	// AlgoMaxSim runs compMaxSim (SPH).
+	AlgoMaxSim = engine.MaxSim
+	// AlgoMaxSim11 runs compMaxSim1−1 (SPH1-1).
+	AlgoMaxSim11 = engine.MaxSim11
+	// AlgoDecide decides p-hom exactly (exponential).
+	AlgoDecide = engine.Decide
+	// AlgoDecide11 decides 1-1 p-hom exactly (exponential).
+	AlgoDecide11 = engine.Decide11
+	// AlgoSimulation runs the graph-simulation baseline.
+	AlgoSimulation = engine.Simulation
+)
+
+// Similarity kinds for MatchRequest.Sim.
+const (
+	// SimLabel scores 1 for equal labels, 0 otherwise (the default).
+	SimLabel = engine.SimLabel
+	// SimContent scores shingle resemblance of node contents.
+	SimContent = engine.SimContent
+)
+
+// NewEngine starts a serving engine. A zero Options value sizes the
+// worker pool to GOMAXPROCS and the closure cache to its default bound.
+//
+//	eng := graphmatch.NewEngine(graphmatch.EngineOptions{})
+//	defer eng.Close()
+//	eng.Register("web", dataGraph)
+//	res := eng.Match(ctx, graphmatch.MatchRequest{
+//		Pattern: pattern, GraphName: "web",
+//		Algo: graphmatch.AlgoMaxCard, Xi: 0.75,
+//	})
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }

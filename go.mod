@@ -1,0 +1,3 @@
+module graphmatch
+
+go 1.24

@@ -1,0 +1,300 @@
+// Package catalog is the serving layer's registry of data graphs. A
+// production deployment matches many patterns against a fixed fleet of
+// data graphs, so the dominant preprocessing cost — the transitive
+// closure of G2 (the matrix H2 of Fig. 3, which every p-hom algorithm
+// consults) — must be computed once per graph and shared across all
+// concurrent requests, not once per core.Instance as the library
+// defaults to.
+//
+// The Catalog keeps every registered graph resident but bounds the
+// number of resident reachability indexes with an LRU policy, because a
+// closure can be quadratically larger than its graph. Closure builds
+// are single-flight: concurrent requests for the same (graph, path
+// limit) pair wait for one build instead of racing to duplicate it.
+// Hit/miss/eviction counters expose cache effectiveness to /v1/stats
+// and the benchmarks.
+package catalog
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphmatch/internal/closure"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/shingle"
+	"graphmatch/internal/simmatrix"
+)
+
+// Errors distinguished by the HTTP layer.
+var (
+	// ErrNotFound reports an unknown graph name.
+	ErrNotFound = errors.New("catalog: graph not found")
+	// ErrDuplicate reports a Register against a name already taken.
+	ErrDuplicate = errors.New("catalog: graph already registered")
+)
+
+// DefaultMaxClosures bounds resident closures when no explicit capacity
+// is given.
+const DefaultMaxClosures = 64
+
+// Stats is a point-in-time snapshot of catalog effectiveness.
+type Stats struct {
+	// Graphs is the number of registered data graphs.
+	Graphs int `json:"graphs"`
+	// ResidentClosures counts reachability indexes currently cached
+	// (including ones still being built).
+	ResidentClosures int `json:"resident_closures"`
+	// MaxClosures is the LRU capacity.
+	MaxClosures int `json:"max_closures"`
+	// Hits counts Reach calls served from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Reach calls that had to build a closure.
+	Misses uint64 `json:"misses"`
+	// Evictions counts closures dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// BuildTime is the cumulative wall time spent building closures.
+	BuildTime time.Duration `json:"build_ns"`
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// closureKey identifies one cached index: the same graph under
+// different path-limit bounds yields different (incomparable) indexes.
+type closureKey struct {
+	name      string
+	pathLimit int
+}
+
+// entry is one cache slot. ready is closed once reach is final, so
+// lookups can wait for an in-flight build without holding the catalog
+// lock. Builds cannot fail (closure.ComputeBounded is total), so the
+// slot carries no error.
+type entry struct {
+	key   closureKey
+	elem  *list.Element
+	ready chan struct{}
+	reach *closure.Reach
+}
+
+// graphEntry is one registered data graph plus its lazily computed,
+// shared content shingle sets (the data-side half of content
+// similarity, which would otherwise be recomputed per request).
+type graphEntry struct {
+	g           *graph.Graph
+	contentOnce sync.Once
+	contentSets []shingle.Set
+}
+
+// Catalog is a concurrency-safe registry of named data graphs with a
+// bounded, shared closure cache. The zero value is not usable; create
+// catalogs with New.
+type Catalog struct {
+	mu       sync.Mutex
+	graphs   map[string]*graphEntry
+	closures map[closureKey]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	capacity int
+
+	hits, misses, evictions uint64
+	buildTime               time.Duration
+}
+
+// New returns an empty catalog bounding resident closures at
+// maxClosures (DefaultMaxClosures when non-positive).
+func New(maxClosures int) *Catalog {
+	if maxClosures <= 0 {
+		maxClosures = DefaultMaxClosures
+	}
+	return &Catalog{
+		graphs:   make(map[string]*graphEntry),
+		closures: make(map[closureKey]*entry),
+		lru:      list.New(),
+		capacity: maxClosures,
+	}
+}
+
+// Register adds a data graph under name and eagerly builds its
+// unbounded closure so the first match request is already a cache hit.
+// The catalog takes ownership: the graph must not be mutated afterwards
+// (it is normalised here so concurrent readers never race on lazy
+// adjacency sorting). Registering an existing name fails with
+// ErrDuplicate.
+func (c *Catalog) Register(name string, g *graph.Graph) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty graph name")
+	}
+	if g == nil {
+		return fmt.Errorf("catalog: nil graph %q", name)
+	}
+	g.Finish()
+	c.mu.Lock()
+	if _, dup := c.graphs[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	c.graphs[name] = &graphEntry{g: g}
+	c.mu.Unlock()
+	_, err := c.Reach(name, 0)
+	return err
+}
+
+// Remove drops a graph and every cached closure derived from it.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.graphs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(c.graphs, name)
+	for k, e := range c.closures {
+		if k.name == name {
+			c.lru.Remove(e.elem)
+			delete(c.closures, k)
+		}
+	}
+	return nil
+}
+
+// Get returns the registered graph.
+func (c *Catalog) Get(name string) (*graph.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.g, nil
+}
+
+// ContentSets returns the cached shingle sets of the named graph's
+// node contents (computed once, on first use, with the default shingle
+// window) together with the graph they index — callers that resolved
+// the graph separately can detect a concurrent Remove/Register swap by
+// comparing pointers.
+func (c *Catalog) ContentSets(name string) (*graph.Graph, []shingle.Set, error) {
+	c.mu.Lock()
+	e, ok := c.graphs[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.contentOnce.Do(func() {
+		e.contentSets = simmatrix.ContentSets(e.g, 0)
+	})
+	return e.g, e.contentSets, nil
+}
+
+// Names lists the registered graphs in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.graphs))
+	for n := range c.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered graphs.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.graphs)
+}
+
+// Reach returns the shared reachability index of the named graph under
+// the given path limit (0 = the full transitive closure), building and
+// caching it on first use. Concurrent callers for the same key share a
+// single build.
+func (c *Catalog) Reach(name string, pathLimit int) (*closure.Reach, error) {
+	_, r, err := c.GetWithReach(name, pathLimit)
+	return r, err
+}
+
+// GetWithReach resolves the named graph and its shared reachability
+// index in one step, so the pair is guaranteed consistent even if the
+// name is concurrently removed and re-registered with a different
+// graph (separate Get + Reach calls could pair the old graph with the
+// new graph's closure). The graph and the cached closure entry are
+// resolved under one lock acquisition; a fresh build uses the graph
+// pointer captured there, never a re-lookup by name.
+func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closure.Reach, error) {
+	if pathLimit < 0 {
+		pathLimit = 0
+	}
+	key := closureKey{name: name, pathLimit: pathLimit}
+
+	c.mu.Lock()
+	ge, ok := c.graphs[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	g := ge.g
+	if e, ok := c.closures[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return g, e.reach, nil
+	}
+	c.misses++
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.closures[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+
+	start := time.Now()
+	e.reach = closure.ComputeBounded(g, pathLimit)
+	built := time.Since(start)
+	close(e.ready)
+
+	c.mu.Lock()
+	c.buildTime += built
+	c.mu.Unlock()
+	return g, e.reach, nil
+}
+
+// evictLocked enforces the LRU bound. In-flight builds may be evicted —
+// their waiters keep a direct pointer to the entry and are unaffected;
+// the closure simply is not retained once they are done.
+func (c *Catalog) evictLocked() {
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.closures, victim.key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Graphs:           len(c.graphs),
+		ResidentClosures: c.lru.Len(),
+		MaxClosures:      c.capacity,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		BuildTime:        c.buildTime,
+	}
+}

@@ -1,0 +1,237 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+func chain(n int) *graph.Graph {
+	labels := make([]string, n)
+	edges := make([][2]int, 0, n-1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("n%d", i)
+		if i > 0 {
+			edges = append(edges, [2]int{i - 1, i})
+		}
+	}
+	return graph.FromEdgeList(labels, edges)
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	c := New(4)
+	g := chain(5)
+	if err := c.Register("web", g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("Get returned a different graph")
+	}
+	if err := c.Register("web", chain(3)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := c.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing get: err = %v, want ErrNotFound", err)
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "web" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegisterPrecomputesClosure(t *testing.T) {
+	c := New(4)
+	if err := c.Register("g", chain(6)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.ResidentClosures != 1 {
+		t.Fatalf("after register: %+v, want 1 miss and 1 resident closure", s)
+	}
+	r, err := c.Reach("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Reachable(0, 5) || r.Reachable(5, 0) {
+		t.Fatalf("closure semantics wrong on a 6-chain")
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("post-register Reach should hit, stats %+v", s)
+	}
+}
+
+func TestReachSharedPointer(t *testing.T) {
+	c := New(4)
+	if err := c.Register("g", chain(8)); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c.Reach("g", 0)
+	r2, _ := c.Reach("g", 0)
+	if r1 != r2 {
+		t.Fatalf("repeated Reach returned distinct indexes — closure not shared")
+	}
+	// A bounded index is a different cache slot with different semantics.
+	b, err := c.Reach("g", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == r1 {
+		t.Fatalf("bounded and unbounded indexes share a slot")
+	}
+	if b.Reachable(0, 2) {
+		t.Fatalf("1-bounded index reports a 2-hop path")
+	}
+	if !r1.Reachable(0, 2) {
+		t.Fatalf("unbounded index misses a 2-hop path")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := c.Register(name, chain(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.ResidentClosures != 2 {
+		t.Fatalf("resident = %d, want 2", s.ResidentClosures)
+	}
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// "a" was evicted; touching it is a miss that rebuilds and evicts "b".
+	if _, err := c.Reach("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Misses != 4 || s.Evictions != 2 {
+		t.Fatalf("after rebuild: %+v, want 4 misses and 2 evictions", s)
+	}
+	// "c" is still resident: a hit.
+	hits := s.Hits
+	if _, err := c.Reach("c", 0); err != nil {
+		t.Fatal(err)
+	}
+	if s = c.Stats(); s.Hits != hits+1 {
+		t.Fatalf("touching resident closure was not a hit: %+v", s)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(4)
+	if err := c.Register("g", chain(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reach("g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Graphs != 0 || s.ResidentClosures != 0 {
+		t.Fatalf("after remove: %+v", s)
+	}
+	if _, err := c.Reach("g", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Reach after remove: %v, want ErrNotFound", err)
+	}
+	if err := c.Remove("g"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v, want ErrNotFound", err)
+	}
+}
+
+// TestConcurrentReachSingleFlight hammers one key from many goroutines:
+// every caller must get the same index and the build must run once.
+func TestConcurrentReachSingleFlight(t *testing.T) {
+	c := New(4)
+	c.mu.Lock()
+	g := chain(64)
+	g.Finish()
+	c.graphs["g"] = &graphEntry{g: g} // bypass Register's eager build
+	c.mu.Unlock()
+
+	const workers = 32
+	results := make([]any, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Reach("g", 0)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got %v, worker 0 got %v", i, results[i], results[0])
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (single-flight)", s.Misses)
+	}
+	if s.Hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", s.Hits, workers-1)
+	}
+}
+
+// TestContentSetsCachedAndConsistent checks that the data-side shingle
+// sets are computed once per graph and returned with the graph they
+// index.
+func TestContentSetsCachedAndConsistent(t *testing.T) {
+	c := New(4)
+	g := chain(5)
+	if err := c.Register("g", g); err != nil {
+		t.Fatal(err)
+	}
+	cg, sets, err := c.ContentSets("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg != g {
+		t.Fatalf("ContentSets returned a different graph")
+	}
+	if len(sets) != g.NumNodes() {
+		t.Fatalf("sets = %d, want %d", len(sets), g.NumNodes())
+	}
+	_, sets2, err := c.ContentSets("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sets[0] != &sets2[0] {
+		t.Fatalf("ContentSets recomputed instead of returning the cached slice")
+	}
+	if _, _, err := c.ContentSets("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing graph: %v, want ErrNotFound", err)
+	}
+	// GetWithReach returns a consistent (graph, closure) pair.
+	gg, r, err := c.GetWithReach("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gg != g || r.NumNodes() != g.NumNodes() {
+		t.Fatalf("GetWithReach pair inconsistent")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatalf("empty hit rate = %v", s.HitRate())
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}

@@ -106,6 +106,15 @@ func (in *Instance) Reach() *closure.Reach {
 	return in.reach
 }
 
+// SetReach installs a precomputed reachability index for G2, replacing
+// the lazily computed private one. This is how the serving catalog
+// (internal/catalog) shares one closure across every Instance matching
+// against the same data graph instead of recomputing it per request.
+// The index must have been built over this instance's G2 with the same
+// MaxPathLen bound; violating that silently changes the matching
+// semantics. Call it before the first algorithm invocation.
+func (in *Instance) SetReach(r *closure.Reach) { in.reach = r }
+
 // Symmetric returns the instance that matches paths on both sides
 // (Section 3.2, Remark): the pattern is replaced by its transitive
 // closure G1+, so a pattern *path* v ⇝ v′ may map to a data path. The

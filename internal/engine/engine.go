@@ -1,0 +1,527 @@
+// Package engine is the concurrent batch scheduler of the serving
+// subsystem. It sits between the transport (internal/httpapi, or direct
+// library use via graphmatch.Engine) and the matching core:
+//
+//   - a bounded worker pool executes match requests concurrently, so a
+//     burst of requests saturates the CPUs instead of serialising;
+//   - duplicate in-flight requests are coalesced: requests with the
+//     same (pattern, graph, algorithm, ξ, path limit, similarity) key
+//     attach to the one running computation and share its result;
+//   - every request resolves its data graph and reachability index
+//     through the shared catalog, so the expensive transitive closure
+//     of each registered graph is computed once, not per request.
+//
+// Requests carry everything Fan et al.'s algorithms need: the pattern
+// G1, the name of a registered data graph G2, the algorithm (the
+// paper's compMaxCard/compMaxCard1-1/compMaxSim/compMaxSim1-1, the
+// exact decision procedures, or the graph-simulation baseline), the
+// similarity threshold ξ, and the optional bounded-path variant.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphmatch/internal/catalog"
+	"graphmatch/internal/closure"
+	"graphmatch/internal/core"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+	"graphmatch/internal/simulation"
+)
+
+// Algorithm names one of the matching procedures the engine can run.
+type Algorithm string
+
+// The supported algorithms. The four comp* values are the paper's
+// approximation algorithms (Figs. 3–4); Decide and Decide11 are the
+// exact exponential procedures; Simulation is the conventional
+// graph-simulation baseline of the experimental comparison.
+const (
+	MaxCard    Algorithm = "maxcard"
+	MaxCard11  Algorithm = "maxcard11"
+	MaxSim     Algorithm = "maxsim"
+	MaxSim11   Algorithm = "maxsim11"
+	Decide     Algorithm = "decide"
+	Decide11   Algorithm = "decide11"
+	Simulation Algorithm = "simulation"
+)
+
+// Algorithms lists every supported algorithm.
+var Algorithms = []Algorithm{MaxCard, MaxCard11, MaxSim, MaxSim11, Decide, Decide11, Simulation}
+
+// ParseAlgorithm validates a wire-format algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	a := Algorithm(s)
+	for _, known := range Algorithms {
+		if a == known {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("engine: unknown algorithm %q", s)
+}
+
+// SimKind selects how the node-similarity matrix mat() is derived.
+type SimKind string
+
+// Similarity kinds. SimLabel is label equality (the paper's Fig. 2
+// convention); SimContent is shingle resemblance of node contents (the
+// Web-matching convention of Section 6).
+const (
+	SimLabel   SimKind = "label"
+	SimContent SimKind = "content"
+)
+
+// Request is one unit of work: match Pattern against the registered
+// graph GraphName.
+type Request struct {
+	// Pattern is G1. The engine normalises it at submission; it must
+	// not be mutated while the request is in flight.
+	Pattern *graph.Graph
+	// GraphName names a data graph registered with the catalog.
+	GraphName string
+	// Algo selects the matching procedure.
+	Algo Algorithm
+	// Xi is the node-similarity threshold ξ ∈ [0, 1].
+	Xi float64
+	// PathLimit bounds pattern-edge images to paths of at most k hops;
+	// 0 means unbounded (the paper's p-hom semantics), 1 demands
+	// edge-to-edge images.
+	PathLimit int
+	// Sim selects the similarity matrix; empty defaults to SimLabel.
+	Sim SimKind
+}
+
+// Result carries the outcome of one request.
+type Result struct {
+	// Mapping is the computed (partial) node mapping σ. Nil for the
+	// simulation baseline and for failed decisions.
+	Mapping core.Mapping
+	// Holds is the verdict of decide/decide11/simulation; for the
+	// approximation algorithms it reports whether σ is total.
+	Holds bool
+	// QualCard and QualSim are the paper's Section 3.3 quality metrics
+	// of the mapping.
+	QualCard float64
+	QualSim  float64
+	// Elapsed is the execution wall time (matrix construction,
+	// closure lookup, and matching; zero extra for coalesced waiters).
+	Elapsed time.Duration
+	// Coalesced reports that this request attached to an identical
+	// in-flight computation instead of running its own.
+	Coalesced bool
+	// Err is the per-request failure, if any (unknown graph, invalid
+	// algorithm, cancelled context).
+	Err error
+}
+
+// Stats is a point-in-time snapshot of engine throughput counters.
+type Stats struct {
+	// Requests counts submissions, including coalesced ones.
+	Requests uint64 `json:"requests"`
+	// Executed counts computations actually run by workers.
+	Executed uint64 `json:"executed"`
+	// Coalesced counts requests that shared an in-flight computation.
+	Coalesced uint64 `json:"coalesced"`
+	// Errors counts requests that finished with a non-nil error.
+	Errors uint64 `json:"errors"`
+	// Batches counts MatchBatch calls.
+	Batches uint64 `json:"batches"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+}
+
+// ErrExactLimit rejects an exact-decision request whose pattern
+// exceeds the engine's configured bound (see Options.ExactNodeLimit).
+var ErrExactLimit = errors.New("engine: pattern too large for exact decision")
+
+// Options configures a new Engine.
+type Options struct {
+	// Workers sizes the pool; defaults to GOMAXPROCS.
+	Workers int
+	// MaxClosures bounds resident reachability indexes in the catalog;
+	// defaults to catalog.DefaultMaxClosures.
+	MaxClosures int
+	// QueueDepth bounds pending tasks before Match blocks; defaults to
+	// 4 × Workers.
+	QueueDepth int
+	// ExactNodeLimit, when positive, rejects Decide/Decide11 requests
+	// whose pattern has more nodes — those procedures are exponential
+	// and cannot be aborted once running, so an unbounded request can
+	// pin a worker indefinitely. 0 means unlimited (library default);
+	// servers exposed to untrusted clients should set it (phomd does).
+	ExactNodeLimit int
+}
+
+// reqKey identifies a computation for coalescing. The pattern is
+// represented by a collision-resistant digest of its full content so
+// two structurally identical patterns coalesce even when they are
+// distinct objects (e.g. decoded from separate HTTP requests).
+type reqKey struct {
+	pattern   [sha256.Size]byte
+	graphName string
+	algo      Algorithm
+	xi        float64
+	pathLimit int
+	sim       SimKind
+}
+
+// task is one scheduled computation plus its completion signal.
+type task struct {
+	req  Request
+	key  reqKey
+	done chan struct{}
+	res  Result
+}
+
+// Engine schedules match requests over a shared catalog. Create one
+// with New; it is safe for concurrent use. Close releases the workers.
+type Engine struct {
+	cat   *catalog.Catalog
+	queue chan *task
+	wg    sync.WaitGroup
+
+	exactLimit int
+
+	mu       sync.Mutex
+	inflight map[reqKey]*task
+
+	// finishMu serialises pattern normalisation: Finish mutates the
+	// graph when it is not yet clean, and two concurrent submissions
+	// may legitimately share one pattern object.
+	finishMu sync.Mutex
+
+	// sendMu serialises queue sends against Close: submitters hold the
+	// read side across the check-closed + send pair, so the channel is
+	// never closed with a send in flight.
+	sendMu sync.RWMutex
+	closed bool
+
+	requests  atomic.Uint64
+	executed  atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
+	batches   atomic.Uint64
+	workers   int
+}
+
+// New starts an engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	e := &Engine{
+		cat:        catalog.New(opts.MaxClosures),
+		queue:      make(chan *task, depth),
+		inflight:   make(map[reqKey]*task),
+		workers:    workers,
+		exactLimit: opts.ExactNodeLimit,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Catalog exposes the underlying graph registry (for stats endpoints
+// and tests).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Register adds a data graph to the catalog and precomputes its shared
+// closure. See catalog.Catalog.Register for ownership rules.
+func (e *Engine) Register(name string, g *graph.Graph) error {
+	return e.cat.Register(name, g)
+}
+
+// Close drains the pool. Pending tasks complete; subsequent Match
+// calls fail. Close is idempotent.
+func (e *Engine) Close() {
+	e.sendMu.Lock()
+	if e.closed {
+		e.sendMu.Unlock()
+		return
+	}
+	e.closed = true
+	e.sendMu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.requests.Load(),
+		Executed:  e.executed.Load(),
+		Coalesced: e.coalesced.Load(),
+		Errors:    e.errors.Load(),
+		Batches:   e.batches.Load(),
+		Workers:   e.workers,
+	}
+}
+
+// Match schedules one request and waits for its result (or ctx
+// cancellation; the computation itself is not aborted, as coalesced
+// peers may still want it).
+func (e *Engine) Match(ctx context.Context, req Request) Result {
+	t, coalesced, err := e.submit(req)
+	if err != nil {
+		e.errors.Add(1)
+		return Result{Err: err}
+	}
+	return e.wait(ctx, t, coalesced)
+}
+
+// MatchBatch schedules all requests before waiting on any, so
+// independent requests run concurrently across the pool and duplicates
+// within the batch coalesce. Results are positional. The error reports
+// only submission-level failure of the whole batch (engine closed);
+// per-request failures land in Result.Err.
+func (e *Engine) MatchBatch(ctx context.Context, reqs []Request) []Result {
+	e.batches.Add(1)
+	results := make([]Result, len(reqs))
+	tasks := make([]*task, len(reqs))
+	flags := make([]bool, len(reqs))
+	for i, req := range reqs {
+		t, coalesced, err := e.submit(req)
+		if err != nil {
+			e.errors.Add(1)
+			results[i] = Result{Err: err}
+			continue
+		}
+		tasks[i] = t
+		flags[i] = coalesced
+	}
+	for i, t := range tasks {
+		if t == nil {
+			continue
+		}
+		results[i] = e.wait(ctx, t, flags[i])
+	}
+	return results
+}
+
+// submit validates a request and either enqueues a new task or attaches
+// to an identical in-flight one.
+func (e *Engine) submit(req Request) (*task, bool, error) {
+	e.requests.Add(1)
+	if req.Pattern == nil {
+		return nil, false, fmt.Errorf("engine: nil pattern")
+	}
+	if _, err := ParseAlgorithm(string(req.Algo)); err != nil {
+		return nil, false, err
+	}
+	if req.Sim == "" {
+		req.Sim = SimLabel
+	}
+	if req.Sim != SimLabel && req.Sim != SimContent {
+		return nil, false, fmt.Errorf("engine: unknown similarity kind %q", req.Sim)
+	}
+	if req.PathLimit < 0 {
+		req.PathLimit = 0
+	}
+	if math.IsNaN(req.Xi) {
+		return nil, false, fmt.Errorf("engine: ξ is NaN")
+	}
+	if (req.Algo == Decide || req.Algo == Decide11) &&
+		e.exactLimit > 0 && req.Pattern.NumNodes() > e.exactLimit {
+		return nil, false, fmt.Errorf("%w: %d nodes > limit %d",
+			ErrExactLimit, req.Pattern.NumNodes(), e.exactLimit)
+	}
+	// Normalise the pattern before workers or coalesced readers touch
+	// it. Serialised because Finish mutates a not-yet-clean graph and
+	// concurrent submissions may share one pattern object.
+	e.finishMu.Lock()
+	req.Pattern.Finish()
+	e.finishMu.Unlock()
+	key := reqKey{
+		pattern:   fingerprint(req.Pattern),
+		graphName: req.GraphName,
+		algo:      req.Algo,
+		xi:        req.Xi,
+		pathLimit: req.PathLimit,
+		sim:       req.Sim,
+	}
+
+	e.mu.Lock()
+	if t, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		e.coalesced.Add(1)
+		return t, true, nil
+	}
+	t := &task{req: req, key: key, done: make(chan struct{})}
+	e.inflight[key] = t
+	e.mu.Unlock()
+
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		// The task was already published to inflight, so a concurrent
+		// identical request may have coalesced onto it: resolve it with
+		// the error before unpublishing, or that waiter hangs forever.
+		t.res = Result{Err: fmt.Errorf("engine: closed")}
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(t.done)
+		return nil, false, fmt.Errorf("engine: closed")
+	}
+	e.queue <- t
+	e.sendMu.RUnlock()
+	return t, false, nil
+}
+
+// wait blocks until the task finishes or ctx is cancelled.
+func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) Result {
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		e.errors.Add(1)
+		return Result{Err: ctx.Err(), Coalesced: coalesced}
+	}
+	res := t.res
+	res.Coalesced = coalesced
+	if res.Err != nil {
+		e.errors.Add(1)
+	}
+	return res
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.queue {
+		t.res = e.execute(t.req)
+		e.executed.Add(1)
+		// Unpublish before signalling completion so a request arriving
+		// after done is closed starts a fresh computation instead of
+		// reading a task that will never change again — semantically
+		// fine either way, but unpublishing keeps the inflight map from
+		// retaining finished patterns.
+		e.mu.Lock()
+		delete(e.inflight, t.key)
+		e.mu.Unlock()
+		close(t.done)
+	}
+}
+
+// execute runs one computation against the shared catalog.
+func (e *Engine) execute(req Request) Result {
+	start := time.Now()
+	// Resolve the graph and its closure as one consistent pair; a
+	// separate Get + Reach could straddle a Remove/Register of the
+	// same name and mix one graph with another's index.
+	var (
+		g2    *graph.Graph
+		reach *closure.Reach
+		err   error
+	)
+	if req.Algo == Simulation {
+		g2, err = e.cat.Get(req.GraphName) // simulation never consults the closure
+	} else {
+		g2, reach, err = e.cat.GetWithReach(req.GraphName, req.PathLimit)
+	}
+	if err != nil {
+		return Result{Err: err}
+	}
+	var mat simmatrix.Matrix
+	switch req.Sim {
+	case SimContent:
+		cg, sets2, err := e.cat.ContentSets(req.GraphName)
+		if err != nil {
+			return Result{Err: err}
+		}
+		if cg != g2 {
+			return Result{Err: fmt.Errorf("engine: graph %q replaced mid-request", req.GraphName)}
+		}
+		mat = simmatrix.FromContentSets(req.Pattern, sets2, 0)
+	default:
+		mat = simmatrix.NewLabelEquality(req.Pattern, g2)
+	}
+
+	if req.Algo == Simulation {
+		holds := simulation.Compute(req.Pattern, g2, mat, req.Xi).Matches()
+		return Result{Holds: holds, Elapsed: time.Since(start)}
+	}
+
+	in := core.NewInstance(req.Pattern, g2, mat, req.Xi)
+	in.MaxPathLen = req.PathLimit
+	in.SetReach(reach)
+
+	var (
+		sigma core.Mapping
+		holds bool
+	)
+	switch req.Algo {
+	case MaxCard:
+		sigma = in.CompMaxCard()
+	case MaxCard11:
+		sigma = in.CompMaxCard11()
+	case MaxSim:
+		sigma = in.CompMaxSim()
+	case MaxSim11:
+		sigma = in.CompMaxSim11()
+	case Decide:
+		sigma, holds = in.Decide()
+	case Decide11:
+		sigma, holds = in.Decide11()
+	default:
+		return Result{Err: fmt.Errorf("engine: unknown algorithm %q", req.Algo)}
+	}
+	res := Result{
+		Mapping:  sigma,
+		Holds:    holds,
+		QualCard: in.QualCard(sigma),
+		QualSim:  in.QualSim(sigma),
+		Elapsed:  time.Since(start),
+	}
+	switch req.Algo {
+	case MaxCard, MaxCard11, MaxSim, MaxSim11:
+		res.Holds = len(sigma) == req.Pattern.NumNodes()
+	}
+	return res
+}
+
+// fingerprint digests a graph's complete content — node count, labels,
+// weights, contents, and edge list — so structurally identical patterns
+// coalesce regardless of object identity.
+func fingerprint(g *graph.Graph) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeInt(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(graph.NodeID(v))
+		writeStr(n.Label)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(n.Weight))
+		h.Write(buf[:])
+		writeStr(n.Content)
+	}
+	g.Edges(func(from, to graph.NodeID) bool {
+		writeInt(int(from))
+		writeInt(int(to))
+		return true
+	})
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -6,6 +6,9 @@ import (
 )
 
 func TestRunBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison runs the full algorithm suite (~10 s); skipped with -short")
+	}
 	cfg := SynConfig{M: 15, Noise: 10, Xi: 0.75, NumData: 3, Seed: 4}
 	rows := RunBaselines(cfg)
 	if len(rows) != len(BaselineAlgorithms) {

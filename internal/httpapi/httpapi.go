@@ -1,0 +1,304 @@
+// Package httpapi is the JSON-over-HTTP transport of the phomd server.
+// It is a thin, stateless layer over engine.Engine: graphs arrive in
+// the documented internal/graph wire format ({"nodes": [...], "edges":
+// [[from, to], ...]}), and every matching decision — scheduling,
+// coalescing, shared closures — lives below in the engine and catalog.
+//
+// Routes:
+//
+//	POST /v1/graphs       register a data graph {"name": ..., "graph": {...}}
+//	GET  /v1/graphs       list registered graph names
+//	POST /v1/match        one match request
+//	POST /v1/match/batch  {"requests": [...]} dispatched concurrently
+//	GET  /v1/stats        engine + catalog counters
+//	GET  /healthz         liveness
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"graphmatch/internal/catalog"
+	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+)
+
+// DefaultXi is applied when a match request omits "xi". It matches the
+// phom CLI default (the paper's experiments run ξ around 0.75–0.9);
+// explicit 0 is honoured.
+const DefaultXi = 0.75
+
+// maxBodyBytes bounds request bodies; graphs beyond this belong in a
+// bulk-loading path, not a JSON POST.
+const maxBodyBytes = 64 << 20
+
+// RegisterRequest is the body of POST /v1/graphs.
+type RegisterRequest struct {
+	Name  string       `json:"name"`
+	Graph *graph.Graph `json:"graph"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// MatchRequest is the body of POST /v1/match and the element type of
+// batch requests. Xi is a pointer so "absent" and "0" are
+// distinguishable; absent means DefaultXi.
+type MatchRequest struct {
+	Pattern   *graph.Graph `json:"pattern"`
+	Graph     string       `json:"graph"`
+	Algo      string       `json:"algo"`
+	Xi        *float64     `json:"xi,omitempty"`
+	PathLimit int          `json:"path_limit,omitempty"`
+	Sim       string       `json:"sim,omitempty"`
+}
+
+// MatchResponse is the result of one match request. Mapping pairs are
+// [patternNode, dataNode], sorted by pattern node.
+type MatchResponse struct {
+	Algo         string     `json:"algo"`
+	Graph        string     `json:"graph"`
+	Holds        bool       `json:"holds"`
+	Mapping      [][2]int32 `json:"mapping,omitempty"`
+	Matched      int        `json:"matched"`
+	PatternNodes int        `json:"pattern_nodes"`
+	QualCard     float64    `json:"qual_card"`
+	QualSim      float64    `json:"qual_sim"`
+	ElapsedUS    int64      `json:"elapsed_us"`
+	Coalesced    bool       `json:"coalesced"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/match/batch.
+type BatchRequest struct {
+	Requests []MatchRequest `json:"requests"`
+}
+
+// BatchResponse carries positional results for a batch.
+type BatchResponse struct {
+	Results []MatchResponse `json:"results"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Engine  engine.Stats `json:"engine"`
+	Catalog catalogStats `json:"catalog"`
+}
+
+// catalogStats extends catalog.Stats with the derived hit rate so
+// dashboards need no arithmetic.
+type catalogStats struct {
+	catalog.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// New returns the phomd handler over e.
+func New(e *engine.Engine) http.Handler {
+	s := &server{eng: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.registerGraph)
+	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
+	mux.HandleFunc("POST /v1/match", s.match)
+	mux.HandleFunc("POST /v1/match/batch", s.matchBatch)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+type server struct {
+	eng *engine.Engine
+}
+
+func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph name"))
+		return
+	}
+	if req.Graph == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph"))
+		return
+	}
+	if err := s.eng.Register(req.Name, req.Graph); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		Name:  req.Name,
+		Nodes: req.Graph.NumNodes(),
+		Edges: req.Graph.NumEdges(),
+	})
+}
+
+func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.eng.Catalog().Names()})
+}
+
+func (s *server) match(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ereq, err := req.toEngine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.eng.Match(r.Context(), ereq)
+	if res.Err != nil {
+		writeError(w, statusFor(res.Err), res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(req, res))
+}
+
+func (s *server) matchBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if !decode(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	// Convert up front and dispatch only the well-formed items, so
+	// malformed ones don't inflate engine counters with doomed submits.
+	ereqs := make([]engine.Request, 0, len(batch.Requests))
+	pos := make([]int, 0, len(batch.Requests))
+	out := BatchResponse{Results: make([]MatchResponse, len(batch.Requests))}
+	for i, mr := range batch.Requests {
+		ereq, err := mr.toEngine()
+		if err != nil {
+			out.Results[i] = MatchResponse{Algo: mr.Algo, Graph: mr.Graph, Error: err.Error()}
+			continue
+		}
+		ereqs = append(ereqs, ereq)
+		pos = append(pos, i)
+	}
+	for j, res := range s.eng.MatchBatch(r.Context(), ereqs) {
+		i := pos[j]
+		if res.Err != nil {
+			out.Results[i] = MatchResponse{Algo: batch.Requests[i].Algo, Graph: batch.Requests[i].Graph, Error: res.Err.Error()}
+			continue
+		}
+		out.Results[i] = toResponse(batch.Requests[i], res)
+	}
+	// The batch as a whole is 200; per-item failures ride in "error".
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	cs := s.eng.Catalog().Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engine:  s.eng.Stats(),
+		Catalog: catalogStats{Stats: cs, HitRate: cs.HitRate()},
+	})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// toEngine validates the wire request and converts it. Invalid
+// requests error here so bad algorithm names surface as 400s even when
+// the engine would also reject them.
+func (mr MatchRequest) toEngine() (engine.Request, error) {
+	if mr.Pattern == nil {
+		return engine.Request{}, fmt.Errorf("missing pattern")
+	}
+	if mr.Graph == "" {
+		return engine.Request{}, fmt.Errorf("missing graph name")
+	}
+	algo, err := engine.ParseAlgorithm(mr.Algo)
+	if err != nil {
+		return engine.Request{}, err
+	}
+	xi := DefaultXi
+	if mr.Xi != nil {
+		xi = *mr.Xi
+	}
+	if xi < 0 || xi > 1 {
+		return engine.Request{}, fmt.Errorf("xi %v outside [0, 1]", xi)
+	}
+	switch engine.SimKind(mr.Sim) {
+	case "", engine.SimLabel, engine.SimContent:
+	default:
+		return engine.Request{}, fmt.Errorf("unknown similarity kind %q", mr.Sim)
+	}
+	return engine.Request{
+		Pattern:   mr.Pattern,
+		GraphName: mr.Graph,
+		Algo:      algo,
+		Xi:        xi,
+		PathLimit: mr.PathLimit,
+		Sim:       engine.SimKind(mr.Sim),
+	}, nil
+}
+
+func toResponse(req MatchRequest, res engine.Result) MatchResponse {
+	out := MatchResponse{
+		Algo:         req.Algo,
+		Graph:        req.Graph,
+		Holds:        res.Holds,
+		Matched:      len(res.Mapping),
+		PatternNodes: req.Pattern.NumNodes(),
+		QualCard:     res.QualCard,
+		QualSim:      res.QualSim,
+		ElapsedUS:    res.Elapsed.Microseconds(),
+		Coalesced:    res.Coalesced,
+	}
+	if len(res.Mapping) > 0 {
+		out.Mapping = make([][2]int32, 0, len(res.Mapping))
+		for _, v := range res.Mapping.Domain() { // Domain is sorted
+			out.Mapping = append(out.Mapping, [2]int32{int32(v), int32(res.Mapping[v])})
+		}
+	}
+	return out
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return false
+	}
+	return true
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrDuplicate):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrExactLimit):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,312 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"graphmatch/internal/core"
+	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	e := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(e.Close)
+	ts := httptest.NewServer(New(e))
+	t.Cleanup(ts.Close)
+	return ts, e
+}
+
+// storeGraphs is the paper's Figure 1 instance in wire form.
+func storeGraphs() (pattern, data *graph.Graph) {
+	pattern = graph.FromEdgeList(
+		[]string{"A", "books", "audio", "textbooks", "abooks", "albums"},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}},
+	)
+	data = graph.FromEdgeList(
+		[]string{"A", "books", "sports", "audio", "categories", "textbooks",
+			"school", "arts", "abooks", "booksets", "DVDs", "albums"},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 9}, {1, 5}, {4, 6},
+			{4, 7}, {3, 8}, {3, 10}, {3, 11}, {5, 6}},
+	)
+	return pattern, data
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func register(t *testing.T, ts *httptest.Server, name string, g *graph.Graph) {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/v1/graphs", RegisterRequest{Name: name, Graph: g})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %q: status %d, body %s", name, resp.StatusCode, body)
+	}
+}
+
+func TestRegisterAndList(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	// Duplicate → 409.
+	resp, _ := postJSON(t, ts.URL+"/v1/graphs", RegisterRequest{Name: "store", Graph: data})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register: status %d, want 409", resp.StatusCode)
+	}
+	// Missing pieces → 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/graphs", RegisterRequest{Name: "", Graph: data})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty name: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/graphs", RegisterRequest{Name: "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing graph: status %d, want 400", resp.StatusCode)
+	}
+
+	listResp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var listed map[string][]string
+	if err := json.NewDecoder(listResp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if got := listed["graphs"]; len(got) != 1 || got[0] != "store" {
+		t.Fatalf("graphs = %v", got)
+	}
+}
+
+func TestMatchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	pattern, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	xi := 0.9
+	resp, body := postJSON(t, ts.URL+"/v1/match", MatchRequest{
+		Pattern: pattern, Graph: "store", Algo: "maxcard", Xi: &xi,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var mr MatchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wire result must equal a direct in-process run.
+	in := core.NewInstance(pattern, data, simmatrix.NewLabelEquality(pattern, data), xi)
+	want := in.CompMaxCard()
+	if mr.Matched != len(want) || mr.PatternNodes != pattern.NumNodes() {
+		t.Fatalf("matched %d/%d, want %d/%d", mr.Matched, mr.PatternNodes, len(want), pattern.NumNodes())
+	}
+	if mr.QualCard != in.QualCard(want) {
+		t.Fatalf("qual_card %v, want %v", mr.QualCard, in.QualCard(want))
+	}
+	for _, pair := range mr.Mapping {
+		if want[graph.NodeID(pair[0])] != graph.NodeID(pair[1]) {
+			t.Fatalf("wire mapping %v disagrees with direct run %v", mr.Mapping, want)
+		}
+	}
+
+	// Unknown graph → 404; bad algorithm → 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/match", MatchRequest{Pattern: pattern, Graph: "nope", Algo: "maxcard"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/match", MatchRequest{Pattern: pattern, Graph: "store", Algo: "subiso"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad algo: status %d, want 400", resp.StatusCode)
+	}
+	badXi := 1.5
+	resp, _ = postJSON(t, ts.URL+"/v1/match", MatchRequest{Pattern: pattern, Graph: "store", Algo: "maxcard", Xi: &badXi})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("xi out of range: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/match", MatchRequest{Pattern: pattern, Graph: "store", Algo: "maxcard", Sim: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sim kind: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEndToEndConcurrentBatches is the PR's acceptance scenario over
+// the real HTTP stack: one registered graph, several concurrent batch
+// requests, closure-cache hits, and per-algorithm agreement with
+// direct core runs.
+func TestEndToEndConcurrentBatches(t *testing.T) {
+	ts, e := newTestServer(t)
+	pattern, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	xi := 0.9
+	algos := []string{"maxcard", "maxcard11", "maxsim", "maxsim11", "decide", "simulation"}
+	batch := BatchRequest{}
+	for _, a := range algos {
+		batch.Requests = append(batch.Requests, MatchRequest{
+			Pattern: pattern, Graph: "store", Algo: a, Xi: &xi,
+		})
+	}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	responses := make([]BatchResponse, clients)
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body, err := json.Marshal(batch)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/match/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			errCh <- json.NewDecoder(resp.Body).Decode(&responses[c])
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every client got per-algorithm results identical to direct runs.
+	in := core.NewInstance(pattern, data, simmatrix.NewLabelEquality(pattern, data), xi)
+	direct := map[string]core.Mapping{
+		"maxcard":   in.CompMaxCard(),
+		"maxcard11": in.CompMaxCard11(),
+		"maxsim":    in.CompMaxSim(),
+		"maxsim11":  in.CompMaxSim11(),
+	}
+	for c, br := range responses {
+		if len(br.Results) != len(algos) {
+			t.Fatalf("client %d: %d results, want %d", c, len(br.Results), len(algos))
+		}
+		for _, res := range br.Results {
+			if res.Error != "" {
+				t.Fatalf("client %d %s: %s", c, res.Algo, res.Error)
+			}
+			want, ok := direct[res.Algo]
+			if !ok {
+				continue // decide/simulation verdicts checked below
+			}
+			if res.Matched != len(want) {
+				t.Errorf("client %d %s: matched %d, direct %d", c, res.Algo, res.Matched, len(want))
+			}
+			for _, pair := range res.Mapping {
+				if want[graph.NodeID(pair[0])] != graph.NodeID(pair[1]) {
+					t.Errorf("client %d %s: pair %v disagrees with direct run", c, res.Algo, pair)
+				}
+			}
+		}
+		_, holds := in.Decide()
+		for _, res := range br.Results {
+			if res.Algo == "decide" && res.Holds != holds {
+				t.Errorf("client %d decide: holds %v, direct %v", c, res.Holds, holds)
+			}
+		}
+	}
+
+	// The closure was computed exactly once (at registration) and every
+	// closure-consuming request hit the shared cache.
+	var stats StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Catalog.Misses != 1 {
+		t.Errorf("closure built %d times, want exactly 1", stats.Catalog.Misses)
+	}
+	if stats.Catalog.Hits == 0 {
+		t.Errorf("closure-cache hits = 0, want > 0; stats %+v", stats.Catalog)
+	}
+	if stats.Engine.Requests < uint64(clients*len(algos)) {
+		t.Errorf("engine saw %d requests, want ≥ %d", stats.Engine.Requests, clients*len(algos))
+	}
+	// Identical concurrent batches are prime coalescing fodder; the
+	// counter is timing-dependent, so only log it.
+	t.Logf("engine stats: %+v", stats.Engine)
+	t.Logf("catalog stats: %+v (hit rate %.0f%%)", stats.Catalog.Stats, stats.Catalog.HitRate*100)
+	_ = e
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.Workers < 1 {
+		t.Fatalf("stats report %d workers", stats.Engine.Workers)
+	}
+}
+
+func TestBadJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/match/batch", "application/json", bytes.NewReader([]byte(`{"requests": []}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -140,30 +140,44 @@ func (gr *Grouped) Score(v, u graph.NodeID) float64 {
 // two nodes was measured by the textual similarity of their contents based
 // on shingles").
 func FromContent(g1, g2 *graph.Graph, shingleSize int) *Dense {
+	return FromContentSets(g1, ContentSets(g2, shingleSize), shingleSize)
+}
+
+// ContentSets precomputes the shingle set of every node of g (content,
+// falling back to the label), indexed by NodeID. The serving catalog
+// caches this per registered data graph so content similarity does not
+// re-shingle the data side on every request.
+func ContentSets(g *graph.Graph, shingleSize int) []shingle.Set {
 	sh := shingle.NewShingler(shingleSize)
-	text := func(g *graph.Graph, v graph.NodeID) string {
-		if c := g.Content(v); c != "" {
-			return c
-		}
-		return g.Label(v)
+	sets := make([]shingle.Set, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		sets[v] = sh.Shingle(contentText(g, graph.NodeID(v)))
 	}
-	sets1 := make([]shingle.Set, g1.NumNodes())
+	return sets
+}
+
+// FromContentSets builds the content-similarity matrix of g1 against
+// precomputed data-side shingle sets (see ContentSets). shingleSize
+// must match the one the sets were built with.
+func FromContentSets(g1 *graph.Graph, sets2 []shingle.Set, shingleSize int) *Dense {
+	sh := shingle.NewShingler(shingleSize)
+	d := NewDense(g1.NumNodes(), len(sets2))
 	for v := 0; v < g1.NumNodes(); v++ {
-		sets1[v] = sh.Shingle(text(g1, graph.NodeID(v)))
-	}
-	sets2 := make([]shingle.Set, g2.NumNodes())
-	for u := 0; u < g2.NumNodes(); u++ {
-		sets2[u] = sh.Shingle(text(g2, graph.NodeID(u)))
-	}
-	d := NewDense(g1.NumNodes(), g2.NumNodes())
-	for v := range sets1 {
+		set1 := sh.Shingle(contentText(g1, graph.NodeID(v)))
 		for u := range sets2 {
-			if s := shingle.Resemblance(sets1[v], sets2[u]); s > 0 {
+			if s := shingle.Resemblance(set1, sets2[u]); s > 0 {
 				d.Set(graph.NodeID(v), graph.NodeID(u), s)
 			}
 		}
 	}
 	return d
+}
+
+func contentText(g *graph.Graph, v graph.NodeID) string {
+	if c := g.Content(v); c != "" {
+		return c
+	}
+	return g.Label(v)
 }
 
 // Candidates lists, for every node v of g1, the nodes u of g2 with
