@@ -1,0 +1,225 @@
+// Command benchcore measures the matcher hot path the way the serving
+// stack exercises it and emits a machine-readable snapshot, the
+// companion of cmd/benchengine's end-to-end numbers:
+//
+//	benchcore -out BENCH_core.json
+//
+// Three layers are timed with testing.Benchmark against one shared,
+// catalog-shaped fixture (a random data graph whose closure and
+// closure rows are built once, as internal/catalog does for registered
+// graphs):
+//
+//   - matcher setup with shared rows (the serving fast path) and with a
+//     per-request row rebuild (what every request paid before rows were
+//     shareable), whose ratio is the headline of the zero-rebuild
+//     change;
+//   - one full compMaxCard request, allocations included — steady-state
+//     greedyMatch recursion itself allocates nothing, so allocs/op here
+//     tracks only per-request setup;
+//   - a concurrent engine workload, reported as requests/sec.
+//
+// CI runs it and archives BENCH_core.json next to BENCH_engine.json so
+// hot-path regressions are visible per commit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"graphmatch/internal/closure"
+	"graphmatch/internal/core"
+	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/simmatrix"
+)
+
+// report is the BENCH_core.json schema.
+type report struct {
+	Timestamp    string `json:"timestamp"`
+	GoVersion    string `json:"go_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	DataNodes    int    `json:"data_nodes"`
+	PatternNodes int    `json:"pattern_nodes"`
+
+	// Per-request matcher setup against a catalog-cached graph.
+	SetupNsOp     int64 `json:"setup_ns_op"`
+	SetupAllocsOp int64 `json:"setup_allocs_op"`
+	// The same setup re-deriving closure rows per request (the
+	// pre-sharing behaviour kept as the comparison baseline).
+	SetupRowBuildNsOp     int64   `json:"setup_rowbuild_ns_op"`
+	SetupRowBuildAllocsOp int64   `json:"setup_rowbuild_allocs_op"`
+	SetupSpeedup          float64 `json:"setup_speedup"`
+
+	// One full compMaxCard request: instance + setup + search.
+	MatchNsOp     int64 `json:"match_ns_op"`
+	MatchAllocsOp int64 `json:"match_allocs_op"`
+	MatchBytesOp  int64 `json:"match_bytes_op"`
+
+	// Concurrent engine workload.
+	EngineRequests       int     `json:"engine_requests"`
+	EngineRequestsPerSec float64 `json:"engine_requests_per_sec"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output path")
+	dataNodes := flag.Int("nodes", 400, "data graph nodes")
+	patNodes := flag.Int("pattern", 10, "pattern nodes")
+	avgDeg := flag.Int("deg", 4, "average out-degree of the data graph")
+	engineReqs := flag.Int("requests", 1500, "requests in the engine workload")
+	clients := flag.Int("clients", 8, "concurrent clients in the engine workload")
+	flag.Parse()
+
+	data := randomGraph(*dataNodes, *avgDeg, 1)
+	pattern := carvePattern(data, *patNodes, 100)
+	mat := simmatrix.NewLabelEquality(pattern, data)
+	reach := closure.Compute(data)
+	rows := closure.NewRows(reach)
+
+	setup := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := core.NewInstance(pattern, data, mat, 0.9)
+			in.SetReach(reach)
+			in.SetRows(rows)
+			in.BenchSetup()
+		}
+	})
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := core.NewInstance(pattern, data, mat, 0.9)
+			in.SetReach(reach)
+			in.BenchSetup()
+		}
+	})
+	match := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := core.NewInstance(pattern, data, mat, 0.9)
+			in.SetReach(reach)
+			in.SetRows(rows)
+			_ = in.CompMaxCard()
+		}
+	})
+
+	reqs, elapsed := engineWorkload(*engineReqs, *clients, *dataNodes, *avgDeg, *patNodes)
+
+	rep := report{
+		Timestamp:             time.Now().UTC().Format(time.RFC3339),
+		GoVersion:             runtime.Version(),
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		DataNodes:             *dataNodes,
+		PatternNodes:          *patNodes,
+		SetupNsOp:             setup.NsPerOp(),
+		SetupAllocsOp:         setup.AllocsPerOp(),
+		SetupRowBuildNsOp:     rebuild.NsPerOp(),
+		SetupRowBuildAllocsOp: rebuild.AllocsPerOp(),
+		MatchNsOp:             match.NsPerOp(),
+		MatchAllocsOp:         match.AllocsPerOp(),
+		MatchBytesOp:          match.AllocedBytesPerOp(),
+		EngineRequests:        reqs,
+		EngineRequestsPerSec:  float64(reqs) / elapsed.Seconds(),
+	}
+	if rep.SetupNsOp > 0 {
+		rep.SetupSpeedup = float64(rep.SetupRowBuildNsOp) / float64(rep.SetupNsOp)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("setup %dns/%d allocs (rowbuild %dns, %.1fx), match %dns/%d allocs, engine %.0f req/s → %s",
+		rep.SetupNsOp, rep.SetupAllocsOp, rep.SetupRowBuildNsOp, rep.SetupSpeedup,
+		rep.MatchNsOp, rep.MatchAllocsOp, rep.EngineRequestsPerSec, *out)
+}
+
+// engineWorkload pushes a fixed pool of requests through a fresh engine
+// and reports (requests completed, wall time).
+func engineWorkload(total, clients, dataNodes, avgDeg, patNodes int) (int, time.Duration) {
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	names := []string{"g0", "g1", "g2"}
+	for i, name := range names {
+		if err := eng.Register(name, randomGraph(dataNodes, avgDeg, int64(i+1))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	algos := []engine.Algorithm{engine.MaxCard, engine.MaxCard11, engine.MaxSim, engine.MaxSim11}
+	pool := make([]engine.Request, 48)
+	for i := range pool {
+		name := names[i%len(names)]
+		g, err := eng.Catalog().Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool[i] = engine.Request{
+			Pattern:   carvePattern(g, patNodes, int64(100+i)),
+			GraphName: name,
+			Algo:      algos[i%len(algos)],
+			Xi:        0.9,
+		}
+	}
+	perClient := total / clients
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				if res := eng.Match(context.Background(), pool[rng.Intn(len(pool))]); res.Err != nil {
+					log.Fatal(res.Err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return perClient * clients, time.Since(start)
+}
+
+func randomGraph(n, avgDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("L%d", i%16))
+	}
+	for i := 0; i < n*avgDeg; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g.Finish()
+	return g
+}
+
+func carvePattern(g *graph.Graph, size int, seed int64) *graph.Graph {
+	if size > g.NumNodes() {
+		log.Fatalf("benchcore: pattern size %d exceeds data graph size %d", size, g.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[graph.NodeID]bool{}
+	var keep []graph.NodeID
+	for len(keep) < size {
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		if !seen[v] {
+			seen[v] = true
+			keep = append(keep, v)
+		}
+	}
+	sub, _ := g.InducedSubgraph(keep)
+	return sub
+}

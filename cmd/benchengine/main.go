@@ -211,6 +211,9 @@ func randomGraph(n, avgDeg int, seed int64) *graph.Graph {
 }
 
 func carvePattern(g *graph.Graph, size int, seed int64) *graph.Graph {
+	if size > g.NumNodes() {
+		log.Fatalf("benchengine: pattern size %d exceeds data graph size %d", size, g.NumNodes())
+	}
 	rng := rand.New(rand.NewSource(seed))
 	seen := map[graph.NodeID]bool{}
 	var keep []graph.NodeID

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +54,7 @@ func main() {
 	maxClosures := flag.Int("max-closures", 0, "LRU bound on resident reachability indexes (0 = default)")
 	queueDepth := flag.Int("queue", 0, "pending-request queue depth (0 = 4×workers)")
 	maxExact := flag.Int("max-exact-nodes", 16, "largest pattern accepted for the exponential decide/decide11 algorithms (0 = unlimited)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
@@ -77,6 +79,22 @@ func main() {
 		}
 		log.Printf("registered %q: %d nodes, %d edges (closure in %v)",
 			name, g.NumNodes(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+
+	// The profiling endpoint listens on its own side port, never on the
+	// serving address: the main server uses a dedicated handler, so the
+	// pprof routes net/http/pprof hangs on DefaultServeMux stay
+	// unreachable unless -pprof is set. This is how serving hot spots
+	// (closure row sweeps, greedyMatch recursion) get profiled in place:
+	//
+	//	go tool pprof http://localhost:6060/debug/pprof/profile
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("phomd: pprof: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

@@ -84,6 +84,46 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CopyFrom overwrites s with the contents of t without allocating.
+func (s *Set) CopyFrom(t *Set) {
+	s.checkLen(t)
+	copy(s.words, t.words)
+}
+
+// SplitInto partitions s against the mask a ∩ b in one word-level pass:
+// trimmed receives s ∩ a ∩ b and moved receives s \ (a ∩ b). b may be
+// nil, in which case the mask is a alone. trimmed and moved are fully
+// overwritten (they may hold stale bits from a free list) and must be
+// distinct from s, a and b. The returns report whether trimmed and
+// moved are nonempty, so callers avoid a separate Empty scan.
+func (s *Set) SplitInto(a, b, trimmed, moved *Set) (anyTrimmed, anyMoved bool) {
+	s.checkLen(a)
+	s.checkLen(trimmed)
+	s.checkLen(moved)
+	var tAcc, mAcc uint64
+	if b == nil {
+		for i, w := range s.words {
+			m := a.words[i]
+			t, d := w&m, w&^m
+			trimmed.words[i] = t
+			moved.words[i] = d
+			tAcc |= t
+			mAcc |= d
+		}
+	} else {
+		s.checkLen(b)
+		for i, w := range s.words {
+			m := a.words[i] & b.words[i]
+			t, d := w&m, w&^m
+			trimmed.words[i] = t
+			moved.words[i] = d
+			tAcc |= t
+			mAcc |= d
+		}
+	}
+	return tAcc != 0, mAcc != 0
+}
+
 // Or sets s to s ∪ t.
 func (s *Set) Or(t *Set) {
 	s.checkLen(t)

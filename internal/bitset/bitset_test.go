@@ -215,3 +215,71 @@ func TestMatrix(t *testing.T) {
 		t.Error("OrRow did not apply")
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+	}
+	dst := New(130)
+	dst.Add(7) // stale bit: CopyFrom must fully overwrite
+	dst.CopyFrom(s)
+	if !dst.Equal(s) {
+		t.Fatalf("CopyFrom: got %v, want %v", dst.Slice(), s.Slice())
+	}
+	s.Remove(63)
+	if !dst.Contains(63) {
+		t.Fatal("CopyFrom must copy, not alias")
+	}
+}
+
+func TestSplitInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		s, a, b := New(n), New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		for _, withB := range []bool{false, true} {
+			var maskB *Set
+			wantT := s.Clone()
+			wantT.And(a)
+			if withB {
+				maskB = b
+				wantT.And(b)
+			}
+			wantM := s.Clone()
+			wantM.AndNot(wantT)
+			// Dirty destinations: SplitInto must overwrite them fully.
+			trimmed, moved := New(n), New(n)
+			trimmed.Fill()
+			moved.Fill()
+			anyT, anyM := s.SplitInto(a, maskB, trimmed, moved)
+			if !trimmed.Equal(wantT) || !moved.Equal(wantM) {
+				t.Fatalf("trial %d withB=%v: SplitInto mismatch", trial, withB)
+			}
+			if anyT != !wantT.Empty() || anyM != !wantM.Empty() {
+				t.Fatalf("trial %d withB=%v: emptiness flags (%v,%v) want (%v,%v)",
+					trial, withB, anyT, anyM, !wantT.Empty(), !wantM.Empty())
+			}
+		}
+	}
+}
+
+func TestSplitIntoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).SplitInto(New(10), nil, New(10), New(20))
+}

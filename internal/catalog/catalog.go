@@ -48,6 +48,15 @@ type Stats struct {
 	// ResidentClosures counts reachability indexes currently cached
 	// (including ones still being built).
 	ResidentClosures int `json:"resident_closures"`
+	// ResidentRows counts cached closures whose materialised row
+	// matrices (forward/backward closure rows over node IDs) have been
+	// built; rows are built lazily, on the first request that runs a
+	// row-consuming algorithm.
+	ResidentRows int `json:"resident_rows"`
+	// ResidentBytes approximates the heap held by resident reachability
+	// indexes and closure rows — the quantity the MaxClosures LRU bound
+	// is protecting.
+	ResidentBytes int64 `json:"resident_bytes"`
 	// MaxClosures is the LRU capacity.
 	MaxClosures int `json:"max_closures"`
 	// Hits counts Reach calls served from the cache.
@@ -56,7 +65,8 @@ type Stats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts closures dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
-	// BuildTime is the cumulative wall time spent building closures.
+	// BuildTime is the cumulative wall time spent building closures
+	// and closure rows.
 	BuildTime time.Duration `json:"build_ns"`
 }
 
@@ -79,12 +89,27 @@ type closureKey struct {
 // entry is one cache slot. ready is closed once reach is final, so
 // lookups can wait for an in-flight build without holding the catalog
 // lock. Builds cannot fail (closure.ComputeBounded is total), so the
-// slot carries no error.
+// slot carries no error. The materialised closure rows ride in the same
+// slot — built lazily (single-flight via rowsOnce) because only the
+// approximation algorithms consume them — so the LRU bound accounts
+// for closure and rows together and eviction drops both. bytes and
+// rowsBytes are maintained under the catalog lock for the ResidentBytes
+// stat.
 type entry struct {
 	key   closureKey
 	elem  *list.Element
 	ready chan struct{}
 	reach *closure.Reach
+
+	rowsOnce sync.Once
+	rows     *closure.Rows
+
+	bytes     int64
+	rowsBytes int64
+	// rowsCounted records that this entry contributed to residentRows
+	// (rowsBytes alone cannot: a tiny graph's rows can round to zero
+	// bytes while still being resident).
+	rowsCounted bool
 }
 
 // graphEntry is one registered data graph plus its lazily computed,
@@ -108,6 +133,8 @@ type Catalog struct {
 
 	hits, misses, evictions uint64
 	buildTime               time.Duration
+	residentBytes           int64
+	residentRows            int
 }
 
 // New returns an empty catalog bounding resident closures at
@@ -160,10 +187,21 @@ func (c *Catalog) Remove(name string) error {
 	for k, e := range c.closures {
 		if k.name == name {
 			c.lru.Remove(e.elem)
+			c.dropAccountingLocked(e)
 			delete(c.closures, k)
 		}
 	}
 	return nil
+}
+
+// dropAccountingLocked retires an entry's contribution to the resident
+// memory stats. Callers hold c.mu.
+func (c *Catalog) dropAccountingLocked(e *entry) {
+	c.residentBytes -= e.bytes + e.rowsBytes
+	if e.rowsCounted {
+		c.residentRows--
+	}
+	e.bytes, e.rowsBytes, e.rowsCounted = 0, 0, false
 }
 
 // Get returns the registered graph.
@@ -231,6 +269,49 @@ func (c *Catalog) Reach(name string, pathLimit int) (*closure.Reach, error) {
 // resolved under one lock acquisition; a fresh build uses the graph
 // pointer captured there, never a re-lookup by name.
 func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closure.Reach, error) {
+	g, e, err := c.getEntry(name, pathLimit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, e.reach, nil
+}
+
+// GetWithRows resolves the named graph, its reachability index, and the
+// materialised closure rows (forward/backward rows of G2+, the
+// representation the compMaxCard/compMaxSim trim consumes) as one
+// consistent triple. Rows are built once per cached closure —
+// single-flight, like the closure itself — and shared by every request,
+// so per-request matcher setup does not re-materialise the O(n²) row
+// matrices.
+func (c *Catalog) GetWithRows(name string, pathLimit int) (*graph.Graph, *closure.Reach, *closure.Rows, error) {
+	g, e, err := c.getEntry(name, pathLimit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e.rowsOnce.Do(func() {
+		start := time.Now()
+		e.rows = closure.NewRows(e.reach)
+		built := time.Since(start)
+		rb := int64(e.rows.Bytes())
+		c.mu.Lock()
+		c.buildTime += built
+		// Account only while the entry is still resident; an entry
+		// evicted mid-build keeps serving its direct waiters but no
+		// longer counts toward resident memory.
+		if c.closures[e.key] == e {
+			e.rowsBytes = rb
+			e.rowsCounted = true
+			c.residentBytes += rb
+			c.residentRows++
+		}
+		c.mu.Unlock()
+	})
+	return g, e.reach, e.rows, nil
+}
+
+// getEntry resolves the graph and the cache slot for (name, pathLimit),
+// waiting on or performing the single-flight closure build.
+func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, error) {
 	if pathLimit < 0 {
 		pathLimit = 0
 	}
@@ -248,7 +329,7 @@ func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closu
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
-		return g, e.reach, nil
+		return g, e, nil
 	}
 	c.misses++
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -262,10 +343,15 @@ func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closu
 	built := time.Since(start)
 	close(e.ready)
 
+	rb := int64(e.reach.Bytes())
 	c.mu.Lock()
 	c.buildTime += built
+	if c.closures[key] == e { // not evicted while building
+		e.bytes = rb
+		c.residentBytes += rb
+	}
 	c.mu.Unlock()
-	return g, e.reach, nil
+	return g, e, nil
 }
 
 // evictLocked enforces the LRU bound. In-flight builds may be evicted —
@@ -279,6 +365,7 @@ func (c *Catalog) evictLocked() {
 		}
 		victim := back.Value.(*entry)
 		c.lru.Remove(back)
+		c.dropAccountingLocked(victim)
 		delete(c.closures, victim.key)
 		c.evictions++
 	}
@@ -291,6 +378,8 @@ func (c *Catalog) Stats() Stats {
 	return Stats{
 		Graphs:           len(c.graphs),
 		ResidentClosures: c.lru.Len(),
+		ResidentRows:     c.residentRows,
+		ResidentBytes:    c.residentBytes,
 		MaxClosures:      c.capacity,
 		Hits:             c.hits,
 		Misses:           c.misses,

@@ -3,6 +3,7 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -233,5 +234,138 @@ func TestStatsHitRate(t *testing.T) {
 	s = Stats{Hits: 3, Misses: 1}
 	if got := s.HitRate(); got != 0.75 {
 		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestGetWithRowsSharedAndConsistent(t *testing.T) {
+	c := New(4)
+	g := chain(12)
+	if err := c.Register("web", g); err != nil {
+		t.Fatal(err)
+	}
+	g1, r1, rows1, err := c.GetWithRows("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, r2, rows2, err := c.GetWithRows("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 || r1 != r2 || rows1 != rows2 {
+		t.Fatal("GetWithRows must return the shared (graph, reach, rows) triple")
+	}
+	// The rows must agree with the reach they derive from.
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if rows1.Fwd(graph.NodeID(u)).Contains(v) != r1.Reachable(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("rows disagree with reach at (%d,%d)", u, v)
+			}
+		}
+	}
+	// A different path limit is a different cache slot with its own rows.
+	_, rb, rowsB, err := c.GetWithRows("web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsB == rows1 || rb == r1 {
+		t.Fatal("bounded index must not share the unbounded slot")
+	}
+}
+
+func TestConcurrentRowsSingleFlight(t *testing.T) {
+	c := New(4)
+	if err := c.Register("web", chain(60)); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	got := make([]uintptr, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, rows, err := c.GetWithRows("web", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = reflect.ValueOf(rows).Pointer()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent GetWithRows built more than one Rows")
+		}
+	}
+	if st := c.Stats(); st.ResidentRows != 1 {
+		t.Fatalf("ResidentRows = %d, want 1", st.ResidentRows)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	c := New(2)
+	for _, name := range []string{"a", "b"} {
+		if err := c.Register(name, chain(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.ResidentBytes <= 0 {
+		t.Fatalf("ResidentBytes = %d, want > 0 after registration", st.ResidentBytes)
+	}
+	if st.ResidentRows != 0 {
+		t.Fatalf("ResidentRows = %d, want 0 before any row consumer", st.ResidentRows)
+	}
+	if _, _, _, err := c.GetWithRows("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	withRows := c.Stats()
+	if withRows.ResidentRows != 1 {
+		t.Fatalf("ResidentRows = %d, want 1", withRows.ResidentRows)
+	}
+	if withRows.ResidentBytes <= st.ResidentBytes {
+		t.Fatal("materialising rows must grow ResidentBytes")
+	}
+	// Filling the LRU with fresh slots evicts the old ones and returns
+	// their bytes; removing everything zeroes the account.
+	if _, _, err := c.GetWithReach("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetWithReach("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	end := c.Stats()
+	if end.ResidentBytes != 0 || end.ResidentRows != 0 || end.ResidentClosures != 0 {
+		t.Fatalf("after removing all graphs: %+v, want empty accounting", end)
+	}
+}
+
+func TestResidentRowsAccountingZeroByteRows(t *testing.T) {
+	// A 0-node graph's rows occupy zero bytes but are still resident;
+	// the ResidentRows counter must balance across build and removal
+	// even then.
+	c := New(2)
+	empty := graph.New(0)
+	if err := c.Register("empty", empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.GetWithRows("empty", 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentRows != 1 {
+		t.Fatalf("ResidentRows = %d, want 1", st.ResidentRows)
+	}
+	if err := c.Remove("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentRows != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("after remove: %+v, want zeroed accounting", st)
 	}
 }

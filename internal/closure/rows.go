@@ -1,0 +1,135 @@
+package closure
+
+import (
+	"graphmatch/internal/bitset"
+	"graphmatch/internal/graph"
+)
+
+// Rows materialises a Reach index as dense bitset rows over node IDs in
+// both directions: Fwd(u) is {w : u ⇝ w} and Bwd(u) is {w : w ⇝ u},
+// each as a word-level bitset ready for And/AndNot sweeps. This is the
+// representation the compMaxCard/compMaxSim inner loop consumes (the
+// trim of Fig. 4 intersects candidate sets against closure rows of
+// G2+), factored out of the matcher so it can be built once per data
+// graph and shared by every request instead of re-materialised per
+// matcher.
+//
+// Nodes in the same SCC have identical closure rows, so Rows allocates
+// one row per component and aliases it across members; when the Reach
+// index already stores one singleton component per node in ID order
+// (the ComputeBFS/ComputeBounded shape), the forward rows alias the
+// Reach rows directly with no copying at all.
+//
+// Rows is immutable once built and safe for concurrent readers. The
+// returned row sets are shared — callers must never mutate them.
+type Rows struct {
+	n   int
+	fwd []*bitset.Set // fwd[u] = {w : nonempty path u ⇝ w}
+	bwd []*bitset.Set // bwd[u] = {w : nonempty path w ⇝ u}
+	// ownedBytes approximates the heap held by rows allocated here
+	// (excluding rows aliased from the Reach index), for cache
+	// accounting.
+	ownedBytes int
+}
+
+// NewRows expands a Reach index into forward and backward closure rows.
+// The expansion is word-level: member bitsets of each component are
+// OR-combined along the component-level closure, never per-bit probed.
+func NewRows(r *Reach) *Rows {
+	n := r.n
+	k := len(r.compReach)
+	rw := &Rows{n: n}
+
+	// Detect the identity component mapping (one singleton component
+	// per node, in ID order) — the shape ComputeBFS and ComputeBounded
+	// produce, and a frequent outcome of Compute on acyclic graphs.
+	// There the component rows already are node rows.
+	identity := k == n
+	if identity {
+		for v, c := range r.comp {
+			if c != v {
+				identity = false
+				break
+			}
+		}
+	}
+
+	rowBytes := 8 * ((n + 63) / 64)
+
+	// Component-level transpose: compBwd[d] = {c : d ∈ compReach[c]}.
+	compBwd := make([]*bitset.Set, k)
+	for d := range compBwd {
+		compBwd[d] = bitset.New(k)
+	}
+	for c := 0; c < k; c++ {
+		row := r.compReach[c]
+		for d := row.Next(0); d >= 0; d = row.Next(d + 1) {
+			compBwd[d].Add(c)
+		}
+	}
+
+	var fwdByComp, bwdByComp []*bitset.Set
+	if identity {
+		fwdByComp = r.compReach
+		bwdByComp = compBwd
+		rw.ownedBytes += k * rowBytes // compBwd
+	} else {
+		// members[c] = bitset of the nodes in component c; expanding a
+		// component row is then a word-level OR of member bitsets.
+		members := make([]*bitset.Set, k)
+		for c := range members {
+			members[c] = bitset.New(n)
+		}
+		for v, c := range r.comp {
+			members[c].Add(v)
+		}
+		expand := func(compRows []*bitset.Set) []*bitset.Set {
+			out := make([]*bitset.Set, k)
+			for c := 0; c < k; c++ {
+				row := bitset.New(n)
+				cr := compRows[c]
+				for d := cr.Next(0); d >= 0; d = cr.Next(d + 1) {
+					row.Or(members[d])
+				}
+				out[c] = row
+			}
+			return out
+		}
+		fwdByComp = expand(r.compReach)
+		bwdByComp = expand(compBwd)
+		rw.ownedBytes += 2 * k * rowBytes
+	}
+
+	rw.fwd = make([]*bitset.Set, n)
+	rw.bwd = make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		rw.fwd[v] = fwdByComp[r.comp[v]]
+		rw.bwd[v] = bwdByComp[r.comp[v]]
+	}
+	rw.ownedBytes += 2 * n * 8 // the fwd/bwd pointer slices
+	return rw
+}
+
+// NumNodes reports the number of nodes the rows cover.
+func (rw *Rows) NumNodes() int { return rw.n }
+
+// Fwd returns the forward closure row of u: {w : u ⇝ w}. Shared and
+// immutable — do not modify.
+func (rw *Rows) Fwd(u graph.NodeID) *bitset.Set { return rw.fwd[u] }
+
+// Bwd returns the backward closure row of u: {w : w ⇝ u}. Shared and
+// immutable — do not modify.
+func (rw *Rows) Bwd(u graph.NodeID) *bitset.Set { return rw.bwd[u] }
+
+// Bytes approximates the heap bytes held by the rows beyond what the
+// underlying Reach index already accounts for. Used by the catalog's
+// cache memory accounting.
+func (rw *Rows) Bytes() int { return rw.ownedBytes }
+
+// Bytes approximates the heap bytes held by the Reach index: the
+// component assignment plus the component reachability rows. Used by
+// the catalog's cache memory accounting.
+func (r *Reach) Bytes() int {
+	k := len(r.compReach)
+	return 8*r.n + k*8*((k+63)/64)
+}

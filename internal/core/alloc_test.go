@@ -1,0 +1,75 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+)
+
+// Allocation regression tests for the greedyMatch hot path. The free
+// lists make steady-state recursion allocation-free: once the pools are
+// warm, a full greedyMatch round — every greedyMatchAt recursion step,
+// its list partitions, trims and result buffers — must not touch the
+// heap. Excluded under -race, where the detector's instrumentation
+// perturbs allocation accounting.
+
+// warmGreedy runs enough rounds to fill every pool to its steady-state
+// size (buffer capacities grow monotonically and the recursion is
+// deterministic, so a few rounds suffice).
+func warmGreedy(mx *matcher, h *matchList) {
+	for i := 0; i < 5; i++ {
+		s, c := mx.greedyMatch(h)
+		mx.putPairs(s)
+		mx.putPairs(c)
+	}
+}
+
+func TestGreedyMatchAllocationFree(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		injective bool
+	}{
+		{"maxcard", false},
+		{"maxcard11", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := randomInstance(3, 12, 120)
+			mx := in.newMatcher(tc.injective)
+			h := mx.initialList()
+			if len(h.nodes) == 0 {
+				t.Fatal("degenerate fixture: empty matching list")
+			}
+			warmGreedy(mx, h)
+			avg := testing.AllocsPerRun(50, func() {
+				s, c := mx.greedyMatch(h)
+				mx.putPairs(s)
+				mx.putPairs(c)
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state greedyMatch allocates %.2f allocs/run, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestGreedyMatchAllocationFreePickBest(t *testing.T) {
+	// The compMaxSim pick path additionally consults the memoized
+	// weight rows; after the rows are built the recursion must still be
+	// allocation-free.
+	in := weightedRandomInstance(5, 10, 90)
+	mx := in.newMatcher(false)
+	mx.pickBest = true
+	h := mx.initialList()
+	if len(h.nodes) == 0 {
+		t.Fatal("degenerate fixture: empty matching list")
+	}
+	warmGreedy(mx, h)
+	avg := testing.AllocsPerRun(50, func() {
+		s, c := mx.greedyMatch(h)
+		mx.putPairs(s)
+		mx.putPairs(c)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state pickBest greedyMatch allocates %.2f allocs/run, want 0", avg)
+	}
+}

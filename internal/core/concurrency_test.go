@@ -99,3 +99,26 @@ func BenchmarkCompMaxCardMedium(b *testing.B) {
 		in.CompMaxCard()
 	}
 }
+
+func TestConcurrentSymmetricSafe(t *testing.T) {
+	// Symmetric peeks at the lazily built closure caches while other
+	// goroutines may be building them — must be race-free on a cold
+	// instance (run under -race).
+	in := randomInstance(9, 8, 12)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				in.CompMaxCard()
+			} else {
+				sym := in.Symmetric()
+				if err := sym.CheckMapping(sym.CompMaxCard(), false); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"graphmatch/internal/closure"
 	"graphmatch/internal/graph"
@@ -82,7 +83,14 @@ type Instance struct {
 	// call.
 	MaxPathLen int
 
+	// mu guards lazy initialisation of reach and rows. A mutex rather
+	// than sync.Once: the build must be single-flight AND other
+	// methods (Symmetric, filterCandidates) need to peek at what is
+	// already cached without forcing a build, which Once cannot offer
+	// race-free.
+	mu    sync.Mutex
 	reach *closure.Reach
+	rows  *closure.Rows
 }
 
 // NewInstance builds an instance. Xi outside [0, 1] is clamped.
@@ -98,8 +106,16 @@ func NewInstance(g1, g2 *graph.Graph, mat simmatrix.Matrix, xi float64) *Instanc
 
 // Reach returns the cached reachability index of G2: the full transitive
 // closure by default (the adjacency matrix H2 of Fig. 3, lines 5–7), or
-// the bounded index when MaxPathLen is set.
+// the bounded index when MaxPathLen is set. Lazy initialisation is
+// mutex-guarded and single-flight, so concurrent algorithm calls on a
+// cold instance race neither on the build nor on the cache write.
 func (in *Instance) Reach() *closure.Reach {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reachLocked()
+}
+
+func (in *Instance) reachLocked() *closure.Reach {
 	if in.reach == nil {
 		in.reach = closure.ComputeBounded(in.G2, in.MaxPathLen)
 	}
@@ -113,7 +129,52 @@ func (in *Instance) Reach() *closure.Reach {
 // The index must have been built over this instance's G2 with the same
 // MaxPathLen bound; violating that silently changes the matching
 // semantics. Call it before the first algorithm invocation.
-func (in *Instance) SetReach(r *closure.Reach) { in.reach = r }
+func (in *Instance) SetReach(r *closure.Reach) {
+	in.mu.Lock()
+	in.reach = r
+	in.mu.Unlock()
+}
+
+// Rows returns the cached closure rows of G2 — the forward and backward
+// rows of G2+ that greedyMatch's trim intersects candidate sets against
+// — deriving them from Reach on first use. Like Reach, lazy
+// initialisation is single-flight and the result is immutable and safe
+// to share across concurrent algorithm calls.
+func (in *Instance) Rows() *closure.Rows {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rows == nil {
+		in.rows = closure.NewRows(in.reachLocked())
+	}
+	return in.rows
+}
+
+// SetRows installs precomputed closure rows for G2, mirroring SetReach:
+// the serving catalog materialises each registered graph's rows once
+// and every request-scoped Instance consumes the shared copy, making
+// per-request matcher setup near-free. The rows must derive from the
+// same index SetReach installs (the catalog guarantees this). Call it
+// before the first algorithm invocation.
+func (in *Instance) SetRows(rw *closure.Rows) {
+	in.mu.Lock()
+	in.rows = rw
+	in.mu.Unlock()
+}
+
+// cachedIndexes peeks at the lazily built caches without forcing
+// either build — for callers that can proceed (more cheaply) without
+// them.
+func (in *Instance) cachedIndexes() (*closure.Reach, *closure.Rows) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reach, in.rows
+}
+
+// BenchSetup runs the per-request matcher construction path once and
+// discards the result. It exists so external benchmark drivers
+// (cmd/benchcore) can time setup cost without access to package
+// internals; it is not part of the matching API.
+func (in *Instance) BenchSetup() { in.newMatcher(false) }
 
 // Symmetric returns the instance that matches paths on both sides
 // (Section 3.2, Remark): the pattern is replaced by its transitive
@@ -122,9 +183,10 @@ func (in *Instance) SetReach(r *closure.Reach) { in.reach = r }
 // and cached closure.
 func (in *Instance) Symmetric() *Instance {
 	g1plus := closure.Compute(in.G1).Graph(in.G1)
+	reach, rows := in.cachedIndexes()
 	return &Instance{
 		G1: g1plus, G2: in.G2, Mat: in.Mat, Xi: in.Xi,
-		MaxPathLen: in.MaxPathLen, reach: in.reach,
+		MaxPathLen: in.MaxPathLen, reach: reach, rows: rows,
 	}
 }
 
@@ -181,6 +243,10 @@ func (in *Instance) QualCard(m Mapping) float64 {
 
 // QualSim is the maximum-overall-similarity metric of Section 3.3:
 // qualSim(σ) = Σ_{v ∈ dom σ} w(v)·mat(v, σ(v)) / Σ_{v ∈ V1} w(v).
+// The numerator accumulates in node-ID order, not map order: float
+// addition is not associative, and compMaxSim selects bucket winners by
+// comparing qualSim values, so an iteration-order-dependent ulp would
+// make the returned mapping differ run to run.
 func (in *Instance) QualSim(m Mapping) float64 {
 	total := 0.0
 	for v := 0; v < in.G1.NumNodes(); v++ {
@@ -190,8 +256,11 @@ func (in *Instance) QualSim(m Mapping) float64 {
 		return 1
 	}
 	got := 0.0
-	for v, u := range m {
-		got += in.G1.Weight(v) * in.Mat.Score(v, u)
+	for v := 0; v < in.G1.NumNodes(); v++ {
+		vv := graph.NodeID(v)
+		if u, ok := m[vv]; ok {
+			got += in.G1.Weight(vv) * in.Mat.Score(vv, u)
+		}
 	}
 	return got / total
 }

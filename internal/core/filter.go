@@ -30,9 +30,17 @@ type filterStats struct {
 
 // filterCandidates prunes cands in place and reports the shrinkage.
 func (in *Instance) filterCandidates(cands [][]graph.NodeID, injective bool) filterStats {
+	// Fan-out and fan-in are computed lazily — the counts are only
+	// needed for candidates that survive the cheap checks. When the
+	// shared closure rows are already materialised (a serving request,
+	// or any instance that has run an approximation algorithm), each
+	// count is a word-level population count of the row; the filter
+	// deliberately does NOT force a rows build, because the decision
+	// procedures otherwise never need the O(n₂²) matrices and a
+	// filtered decide on a large graph should not pay for them — the
+	// fallback probes the Reach index per surviving candidate instead.
 	reach := in.Reach()
-	// Precompute fan-out/fan-in of every data node lazily: the counts are
-	// only needed for candidates that survive the cheap checks.
+	_, rows := in.cachedIndexes()
 	type fan struct {
 		out, in int
 		done    bool
@@ -41,20 +49,19 @@ func (in *Instance) filterCandidates(cands [][]graph.NodeID, injective bool) fil
 	fanOf := func(u graph.NodeID) (int, int) {
 		f := &fans[u]
 		if !f.done {
-			set := reach.ReachableSet(u)
-			f.out = set.Count()
-			// Fan-in needs the reverse direction; count by probing.
-			// For filtering purposes a cheaper bound suffices: the
-			// in-degree underestimates fan-in, so use it only to pass,
-			// never to reject — here we compute the exact value to keep
-			// the filter as sharp as it is sound.
-			cin := 0
-			for w := 0; w < in.G2.NumNodes(); w++ {
-				if reach.Reachable(graph.NodeID(w), u) {
-					cin++
+			if rows != nil {
+				f.out = rows.Fwd(u).Count()
+				f.in = rows.Bwd(u).Count()
+			} else {
+				f.out = reach.ReachableSet(u).Count()
+				cin := 0
+				for w := 0; w < in.G2.NumNodes(); w++ {
+					if reach.Reachable(graph.NodeID(w), u) {
+						cin++
+					}
 				}
+				f.in = cin
 			}
-			f.in = cin
 			f.done = true
 		}
 		return f.out, f.in

@@ -88,3 +88,27 @@ func TestFilterKeepsLeafCandidates(t *testing.T) {
 		t.Fatalf("filter dropped leaf candidates: %v", cands[0])
 	}
 }
+
+func TestFilterRowsAndFallbackAgree(t *testing.T) {
+	// The filter uses materialised closure rows when an instance has
+	// them and per-candidate Reach probes when it does not; both paths
+	// must prune identically and preserve the decision.
+	for seed := int64(0); seed < 12; seed++ {
+		cold := randomInstance(seed, 5, 9)
+		warm := randomInstance(seed, 5, 9)
+		warm.Rows() // force the rows fast path
+		mc, okc := cold.DecideFiltered()
+		mw, okw := warm.DecideFiltered()
+		if okc != okw {
+			t.Fatalf("seed %d: cold=%v warm=%v", seed, okc, okw)
+		}
+		if len(mc) != len(mw) {
+			t.Fatalf("seed %d: witness sizes differ: %v vs %v", seed, mc, mw)
+		}
+		for v, u := range mc {
+			if mw[v] != u {
+				t.Fatalf("seed %d: witnesses differ: %v vs %v", seed, mc, mw)
+			}
+		}
+	}
+}

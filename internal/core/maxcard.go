@@ -2,6 +2,7 @@ package core
 
 import (
 	"graphmatch/internal/bitset"
+	"graphmatch/internal/closure"
 	"graphmatch/internal/graph"
 )
 
@@ -21,6 +22,17 @@ import (
 // space early. The procedure simulates Ramsey/ISRemoval on the product
 // graph (Proposition 5.2) and inherits the O(log²(n1·n2)/(n1·n2))
 // guarantee of Theorem 5.1.
+//
+// The hot path is engineered to be allocation-free in steady state: the
+// closure rows of G2+ are shared immutable state (closure.Rows, injected
+// by the serving catalog or built once per instance), matching lists use
+// dense slice-indexed storage instead of maps, the trim is a single
+// word-level pass producing the kept and displaced candidates together,
+// and lists, candidate bitsets and pair buffers are recycled through
+// per-matcher free lists. TestGreedyMatchAllocationFree pins the
+// zero-allocation property; the equivalence tests pin that the
+// restructuring returns bit-identical mappings to the direct
+// transcription of Figs. 3–4.
 
 // Pair is one candidate match (v, u) handled by the matching list.
 type Pair struct {
@@ -29,20 +41,35 @@ type Pair struct {
 }
 
 // matchList is the matching list H restricted to nodes with nonempty good
-// sets. minus sets are not stored between calls: both H+ and H− reset
-// minus to ∅ (Fig. 4 lines 7 and 9), so they live only inside greedyMatch.
+// sets. good is indexed densely by pattern node ID (nil = not in the
+// list); nodes preserves insertion order, which the max-|good| pick and
+// the partitioning both iterate, so list order — and therefore the
+// search — is deterministic. minus sets are not stored between calls:
+// both H+ and H− reset minus to ∅ (Fig. 4 lines 7 and 9), so they live
+// only inside greedyMatch.
 type matchList struct {
 	nodes []graph.NodeID
-	good  map[graph.NodeID]*bitset.Set
+	good  []*bitset.Set
+	// owned lists the sets drawn from the matcher's free list for this
+	// matchList, as opposed to rows shared with the parent list; only
+	// these go back to the pool when the list is released.
+	owned []*bitset.Set
 }
 
+// add inserts a row shared with (or outliving) the parent list.
 func (h *matchList) add(v graph.NodeID, set *bitset.Set) {
 	h.nodes = append(h.nodes, v)
 	h.good[v] = set
 }
 
-func newMatchList() *matchList {
-	return &matchList{good: make(map[graph.NodeID]*bitset.Set)}
+// addOwned inserts a row drawn from the matcher's set pool.
+func (h *matchList) addOwned(v graph.NodeID, set *bitset.Set) {
+	h.add(v, set)
+	h.owned = append(h.owned, set)
+}
+
+func newMatchList(n1 int) *matchList {
+	return &matchList{good: make([]*bitset.Set, n1)}
 }
 
 // pairCount reports the number of candidate pairs Σ_v |good[v]|.
@@ -71,38 +98,35 @@ type SearchStats struct {
 	AugmentedPairs int
 }
 
-// matcher carries the immutable per-instance state shared by all
-// greedyMatch invocations: the pattern adjacency (H1), the closure rows of
-// G2 in both directions (H2), and the injectivity flag.
+// matcher carries the per-run state shared by all greedyMatch
+// invocations: the pattern adjacency (H1), the shared closure rows of
+// G2+ in both directions (H2), the injectivity flag, and the free lists
+// that make the recursion allocation-free. A matcher is single-use and
+// single-goroutine; concurrency happens one matcher per call.
 type matcher struct {
 	in        *Instance
 	injective bool
 	pickFirst bool // ablation: pick the first node instead of max-|good|
 	pickBest  bool // pick the heaviest candidate u (used by compMaxSim)
+	n1        int
 	n2        int
-	fwd       []*bitset.Set // fwd[u] = {u' : nonempty path u ⇝ u'}
-	bwd       []*bitset.Set // bwd[u] = {u' : nonempty path u' ⇝ u}
+	rows      *closure.Rows // shared fwd/bwd closure rows of G2+
 	prevBits  []*bitset.Set // prevBits[v] over V1
 	postBits  []*bitset.Set // postBits[v] over V1
+	weights   [][]float64   // memoized pairWeight rows, built per v on demand
 	stats     SearchStats
+
+	// Free lists. Sets are over V2, lists over V1, pair buffers hold
+	// partial σ / I results; all recycle through the recursion so
+	// steady-state greedyMatch does no heap allocation.
+	setPool  []*bitset.Set
+	listPool []*matchList
+	pairPool [][]Pair
 }
 
 func (in *Instance) newMatcher(injective bool) *matcher {
 	n1, n2 := in.G1.NumNodes(), in.G2.NumNodes()
-	reach := in.Reach()
-	mx := &matcher{in: in, injective: injective, n2: n2}
-	mx.fwd = make([]*bitset.Set, n2)
-	mx.bwd = make([]*bitset.Set, n2)
-	for u := 0; u < n2; u++ {
-		mx.fwd[u] = reach.ReachableSet(graph.NodeID(u))
-		mx.bwd[u] = bitset.New(n2)
-	}
-	for u := 0; u < n2; u++ {
-		row := mx.fwd[u]
-		for w := row.Next(0); w >= 0; w = row.Next(w + 1) {
-			mx.bwd[w].Add(u)
-		}
-	}
+	mx := &matcher{in: in, injective: injective, n1: n1, n2: n2, rows: in.Rows()}
 	mx.prevBits = make([]*bitset.Set, n1)
 	mx.postBits = make([]*bitset.Set, n1)
 	for v := 0; v < n1; v++ {
@@ -120,16 +144,81 @@ func (in *Instance) newMatcher(injective bool) *matcher {
 	return mx
 }
 
+// Free-list plumbing. Pooled sets come back dirty: every consumer fully
+// overwrites them (CopyFrom / SplitInto) before reading.
+
+func (mx *matcher) getSet() *bitset.Set {
+	if n := len(mx.setPool); n > 0 {
+		s := mx.setPool[n-1]
+		mx.setPool = mx.setPool[:n-1]
+		return s
+	}
+	return bitset.New(mx.n2)
+}
+
+func (mx *matcher) putSet(s *bitset.Set) { mx.setPool = append(mx.setPool, s) }
+
+func (mx *matcher) getList() *matchList {
+	if n := len(mx.listPool); n > 0 {
+		l := mx.listPool[n-1]
+		mx.listPool = mx.listPool[:n-1]
+		return l
+	}
+	return newMatchList(mx.n1)
+}
+
+// putList clears a list and returns it — and its owned sets — to the
+// free lists. Rows shared with a parent list are left untouched.
+func (mx *matcher) putList(h *matchList) {
+	for _, v := range h.nodes {
+		h.good[v] = nil
+	}
+	h.nodes = h.nodes[:0]
+	for _, s := range h.owned {
+		mx.putSet(s)
+	}
+	h.owned = h.owned[:0]
+	mx.listPool = append(mx.listPool, h)
+}
+
+func (mx *matcher) getPairs() []Pair {
+	if n := len(mx.pairPool); n > 0 {
+		ps := mx.pairPool[n-1]
+		mx.pairPool = mx.pairPool[:n-1]
+		return ps
+	}
+	return make([]Pair, 0, 16)
+}
+
+// putPairs recycles a result buffer. nil-safe.
+func (mx *matcher) putPairs(ps []Pair) {
+	if ps == nil {
+		return
+	}
+	mx.pairPool = append(mx.pairPool, ps[:0])
+}
+
+// appendPair appends to a result buffer, drawing a pooled buffer when
+// the child returned none.
+func (mx *matcher) appendPair(ps []Pair, p Pair) []Pair {
+	if ps == nil {
+		ps = mx.getPairs()
+	}
+	return append(ps, p)
+}
+
 // initialList builds the top-level matching list (Fig. 3 line 4): good[v]
 // holds every u with mat(v, u) ≥ ξ, additionally respecting the self-loop
 // condition (a pattern node on a cycle of length one needs a self-reaching
 // image). Nodes with no candidates are excluded — they can never join a
-// mapping (the Appendix B partitioning observation).
+// mapping (the Appendix B partitioning observation). The top-level list
+// owns its sets privately (removePairs mutates them); it never returns
+// to the free lists.
 func (mx *matcher) initialList() *matchList {
 	in := mx.in
 	reach := in.Reach()
-	h := newMatchList()
-	for v := 0; v < in.G1.NumNodes(); v++ {
+	h := newMatchList(mx.n1)
+	for v := 0; v < mx.n1; v++ {
 		vv := graph.NodeID(v)
 		selfLoop := in.G1.HasEdge(vv, vv)
 		set := bitset.New(mx.n2)
@@ -152,7 +241,8 @@ func (mx *matcher) initialList() *matchList {
 
 // greedyMatch is procedure greedyMatch of Fig. 4. It never mutates h; the
 // partitions share unchanged rows with the parent list, which is safe
-// because lists are read-only once constructed.
+// because lists are read-only once constructed. The returned pair slices
+// are pooled: callers hand them back via putPairs once consumed.
 func (mx *matcher) greedyMatch(h *matchList) (sigma, conflicts []Pair) {
 	return mx.greedyMatchAt(h, 1)
 }
@@ -180,21 +270,28 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 		}
 	}
 	u := mx.pickCandidate(v, h.good[v])
+	ui := int(u)
 
-	plus := newMatchList()
-	minus := newMatchList()
+	plus := mx.getList()
+	minus := mx.getList()
 
 	// Line 3: v keeps only u (which moves out of the list via the match);
 	// its displaced candidates seed H−.
-	mv := h.good[v].Clone()
-	mv.Remove(int(u))
+	mv := mx.getSet()
+	mv.CopyFrom(h.good[v])
+	mv.Remove(ui)
 	if !mv.Empty() {
-		minus.add(v, mv)
+		minus.addOwned(v, mv)
+	} else {
+		mx.putSet(mv)
 	}
 
 	// Line 4 (trimMatching) merged with lines 5–9 (partition): for every
 	// other node, intersect its candidates with the closure rows the edge
-	// constraints demand; displaced candidates go to H−.
+	// constraints demand; displaced candidates go to H−. One word-level
+	// sweep (SplitInto) yields the kept and displaced candidates
+	// together.
+	fwd, bwd := mx.rows.Fwd(u), mx.rows.Bwd(u)
 	for _, v2 := range h.nodes {
 		if v2 == v {
 			continue
@@ -202,44 +299,74 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 		old := h.good[v2]
 		isPrev := mx.prevBits[v].Contains(int(v2)) // edge (v2, v): σ(v2) must reach u
 		isPost := mx.postBits[v].Contains(int(v2)) // edge (v, v2): u must reach σ(v2)
-		needsU := mx.injective && old.Contains(int(u))
+		needsU := mx.injective && old.Contains(ui)
 		if !isPrev && !isPost && !needsU {
 			plus.add(v2, old) // untouched row: share it
 			continue
 		}
-		trimmed := old.Clone()
+		var maskA, maskB *bitset.Set
 		if isPrev {
-			trimmed.And(mx.bwd[u])
+			maskA = bwd
 		}
 		if isPost {
-			trimmed.And(mx.fwd[u])
+			if maskA == nil {
+				maskA = fwd
+			} else {
+				maskB = fwd
+			}
 		}
-		if needsU {
-			trimmed.Remove(int(u))
+		trimmed := mx.getSet()
+		moved := mx.getSet()
+		var anyTrimmed, anyMoved bool
+		if maskA != nil {
+			anyTrimmed, anyMoved = old.SplitInto(maskA, maskB, trimmed, moved)
+		} else {
+			// Only the matched image u is displaced (injective trim with
+			// no edge constraint): rows in a list are never empty, so
+			// trimmed starts nonempty.
+			trimmed.CopyFrom(old)
+			moved.Clear()
+			anyTrimmed = true
 		}
-		moved := old.Clone()
-		moved.AndNot(trimmed)
-		if !trimmed.Empty() {
-			plus.add(v2, trimmed)
+		if needsU && trimmed.Contains(ui) {
+			trimmed.Remove(ui)
+			moved.Add(ui)
+			anyMoved = true
+			anyTrimmed = !trimmed.Empty()
 		}
-		if !moved.Empty() {
-			minus.add(v2, moved)
+		if anyTrimmed {
+			plus.addOwned(v2, trimmed)
+		} else {
+			mx.putSet(trimmed)
+		}
+		if anyMoved {
+			minus.addOwned(v2, moved)
+		} else {
+			mx.putSet(moved)
 		}
 	}
 
 	// Lines 10–13: recurse on both worlds and keep the larger outcomes.
+	// The loser's buffer goes back to the pool; the winner's backing
+	// array travels up as this call's result.
 	s1, i1 := mx.greedyMatchAt(plus, depth+1)
 	s2, i2 := mx.greedyMatchAt(minus, depth+1)
+	mx.putList(plus)
+	mx.putList(minus)
 
 	if len(s1)+1 >= len(s2) {
-		sigma = append(s1, Pair{V: v, U: u})
+		sigma = mx.appendPair(s1, Pair{V: v, U: u})
+		mx.putPairs(s2)
 	} else {
 		sigma = s2
+		mx.putPairs(s1)
 	}
 	if len(i1) > len(i2)+1 {
 		conflicts = i1
+		mx.putPairs(i2)
 	} else {
-		conflicts = append(i2, Pair{V: v, U: u})
+		conflicts = mx.appendPair(i2, Pair{V: v, U: u})
+		mx.putPairs(i1)
 	}
 	return sigma, conflicts
 }
@@ -248,17 +375,39 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 // for the cardinality algorithms (any candidate contributes equally to
 // qualCard), or the heaviest pair w(v)·mat(v, u) for the similarity
 // algorithms (where the pick directly feeds the qualSim numerator).
+// Weight rows are memoized per pattern node, so repeated scans over one
+// run — and over the log n bucket runs of compMaxSim — compute each
+// w(v)·mat(v, u) once instead of per call.
 func (mx *matcher) pickCandidate(v graph.NodeID, good *bitset.Set) graph.NodeID {
+	first := good.Next(0)
 	if !mx.pickBest {
-		return graph.NodeID(good.Next(0))
+		return graph.NodeID(first)
 	}
-	best, bestW := good.Next(0), -1.0
-	for u := good.Next(0); u >= 0; u = good.Next(u + 1) {
-		if w := mx.in.pairWeight(v, graph.NodeID(u)); w > bestW {
+	row := mx.weightRow(v)
+	best, bestW := first, row[first]
+	for u := good.Next(first + 1); u >= 0; u = good.Next(u + 1) {
+		if w := row[u]; w > bestW {
 			bestW, best = w, u
 		}
 	}
 	return graph.NodeID(best)
+}
+
+// weightRow returns the memoized pairWeight row of v, computing it on
+// first use.
+func (mx *matcher) weightRow(v graph.NodeID) []float64 {
+	if mx.weights == nil {
+		mx.weights = make([][]float64, mx.n1)
+	}
+	row := mx.weights[v]
+	if row == nil {
+		row = make([]float64, mx.n2)
+		for u := range row {
+			row[u] = mx.in.pairWeight(v, graph.NodeID(u))
+		}
+		mx.weights[v] = row
+	}
+	return row
 }
 
 // removePairs deletes the pairs of I from the top-level matching list
@@ -266,14 +415,14 @@ func (mx *matcher) pickCandidate(v graph.NodeID, good *bitset.Set) graph.NodeID 
 // become empty.
 func (h *matchList) removePairs(pairs []Pair) {
 	for _, p := range pairs {
-		if set, ok := h.good[p.V]; ok {
+		if set := h.good[p.V]; set != nil {
 			set.Remove(int(p.U))
 		}
 	}
 	alive := h.nodes[:0]
 	for _, v := range h.nodes {
 		if h.good[v].Empty() {
-			delete(h.good, v)
+			h.good[v] = nil
 			continue
 		}
 		alive = append(alive, v)
@@ -295,15 +444,20 @@ func (mx *matcher) run(h *matchList) Mapping {
 		mx.stats.OuterIterations++
 		sigma, conflicts := mx.greedyMatch(h)
 		if len(sigma) > len(sigmaM) {
+			mx.putPairs(sigmaM)
 			sigmaM = sigma
+		} else {
+			mx.putPairs(sigma)
 		}
 		if len(conflicts) == 0 {
 			break // defensive: cannot make progress
 		}
 		mx.stats.ConflictPairsRemoved += len(conflicts)
 		h.removePairs(conflicts)
+		mx.putPairs(conflicts)
 	}
 	base := pairsToMapping(sigmaM)
+	mx.putPairs(sigmaM)
 	out := mx.augment(base)
 	mx.stats.AugmentedPairs += len(out) - len(base)
 	return out

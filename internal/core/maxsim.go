@@ -20,13 +20,17 @@ import (
 // simBuckets partitions the admissible pairs of the initial matching list
 // into weight buckets. Bucket i holds pairs with weight in
 // (W/2^(i+1), W/2^i]; pairs below the W/(n1·n2) floor are discarded.
+// Pair weights come from the matcher's memoized rows, so each
+// w(v)·mat(v, u) is computed once across the scan, the bucket
+// assignment, and every pickCandidate of the bucket runs.
 func (mx *matcher) simBuckets(h *matchList) []*matchList {
 	in := mx.in
 	maxW := 0.0
 	for _, v := range h.nodes {
 		set := h.good[v]
+		row := mx.weightRow(v)
 		for u := set.Next(0); u >= 0; u = set.Next(u + 1) {
-			if w := in.pairWeight(v, graph.NodeID(u)); w > maxW {
+			if w := row[u]; w > maxW {
 				maxW = w
 			}
 		}
@@ -43,8 +47,9 @@ func (mx *matcher) simBuckets(h *matchList) []*matchList {
 	buckets := make([]*matchList, nb)
 	for _, v := range h.nodes {
 		set := h.good[v]
+		row := mx.weightRow(v)
 		for u := set.Next(0); u >= 0; u = set.Next(u + 1) {
-			w := in.pairWeight(v, graph.NodeID(u))
+			w := row[u]
 			if w < floor || w <= 0 {
 				continue
 			}
@@ -56,10 +61,10 @@ func (mx *matcher) simBuckets(h *matchList) []*matchList {
 				i = nb - 1
 			}
 			if buckets[i] == nil {
-				buckets[i] = newMatchList()
+				buckets[i] = newMatchList(mx.n1)
 			}
 			b := buckets[i]
-			if _, ok := b.good[v]; !ok {
+			if b.good[v] == nil {
 				b.add(v, bitset.New(mx.n2))
 			}
 			b.good[v].Add(u)

@@ -422,16 +422,23 @@ func (e *Engine) execute(req Request) Result {
 	start := time.Now()
 	// Resolve the graph and its closure as one consistent pair; a
 	// separate Get + Reach could straddle a Remove/Register of the
-	// same name and mix one graph with another's index.
+	// same name and mix one graph with another's index. The
+	// approximation algorithms additionally receive the catalog's
+	// materialised closure rows, so their per-request matcher setup
+	// does no row building at all.
 	var (
 		g2    *graph.Graph
 		reach *closure.Reach
+		rows  *closure.Rows
 		err   error
 	)
-	if req.Algo == Simulation {
+	switch req.Algo {
+	case Simulation:
 		g2, err = e.cat.Get(req.GraphName) // simulation never consults the closure
-	} else {
+	case Decide, Decide11:
 		g2, reach, err = e.cat.GetWithReach(req.GraphName, req.PathLimit)
+	default:
+		g2, reach, rows, err = e.cat.GetWithRows(req.GraphName, req.PathLimit)
 	}
 	if err != nil {
 		return Result{Err: err}
@@ -459,6 +466,9 @@ func (e *Engine) execute(req Request) Result {
 	in := core.NewInstance(req.Pattern, g2, mat, req.Xi)
 	in.MaxPathLen = req.PathLimit
 	in.SetReach(reach)
+	if rows != nil {
+		in.SetRows(rows)
+	}
 
 	var (
 		sigma core.Mapping
