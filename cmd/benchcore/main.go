@@ -9,17 +9,24 @@
 // closure rows are built once, as internal/catalog does for registered
 // graphs):
 //
-//   - matcher setup with shared rows (the serving fast path) and with a
-//     per-request row rebuild (what every request paid before rows were
-//     shareable), whose ratio is the headline of the zero-rebuild
-//     change;
-//   - one full compMaxCard request, allocations included — steady-state
-//     greedyMatch recursion itself allocates nothing, so allocs/op here
-//     tracks only per-request setup;
+//   - matcher setup with a shared index (the serving fast path) and
+//     with a per-request row rebuild (what every request paid before
+//     rows were shareable), whose ratio is the headline of the
+//     zero-rebuild change;
+//   - one full compMaxCard request under each reachability tier —
+//     dense closure rows vs the candidate-sparse component index —
+//     with both tiers' resident bytes, recording the memory/throughput
+//     trade-off of the tiered reachability layer;
 //   - a concurrent engine workload, reported as requests/sec.
 //
-// CI runs it and archives BENCH_core.json next to BENCH_engine.json so
-// hot-path regressions are visible per commit.
+// A second, separately reported scenario (-large-nodes, default 100k)
+// registers a power-law graph with a strongly connected core through a
+// real engine under the auto tier policy, runs matches against it, and
+// compares the catalog's resident bytes to the dense per-node-rows
+// projection 2·n²/8 — the quadratic footprint that made graphs this
+// size unservable before the sparse tier. CI runs both and archives
+// BENCH_core.json and BENCH_core_large.json next to BENCH_engine.json
+// so hot-path and memory regressions are visible per commit.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
 	"graphmatch/internal/simmatrix"
+	"graphmatch/internal/syngen"
 )
 
 // report is the BENCH_core.json schema.
@@ -59,10 +67,16 @@ type report struct {
 	SetupRowBuildAllocsOp int64   `json:"setup_rowbuild_allocs_op"`
 	SetupSpeedup          float64 `json:"setup_speedup"`
 
-	// One full compMaxCard request: instance + setup + search.
+	// One full compMaxCard request: instance + setup + search, under
+	// the dense tier (the default for a graph this size)...
 	MatchNsOp     int64 `json:"match_ns_op"`
 	MatchAllocsOp int64 `json:"match_allocs_op"`
 	MatchBytesOp  int64 `json:"match_bytes_op"`
+	// ...and under the candidate-sparse tier, with both tiers' index
+	// footprints — the memory/throughput trade-off in one place.
+	SparseMatchNsOp  int64 `json:"sparse_match_ns_op"`
+	DenseIndexBytes  int64 `json:"dense_index_bytes"`
+	SparseIndexBytes int64 `json:"sparse_index_bytes"`
 
 	// Concurrent engine workload.
 	EngineRequests       int     `json:"engine_requests"`
@@ -76,6 +90,12 @@ func main() {
 	avgDeg := flag.Int("deg", 4, "average out-degree of the data graph")
 	engineReqs := flag.Int("requests", 1500, "requests in the engine workload")
 	clients := flag.Int("clients", 8, "concurrent clients in the engine workload")
+	largeOut := flag.String("large-out", "BENCH_core_large.json", "output path for the large-graph scenario")
+	largeNodes := flag.Int("large-nodes", 100000, "nodes in the large-graph scenario (0 disables it)")
+	largeDeg := flag.Int("large-deg", 5, "average out-degree of the large graph")
+	largeLabels := flag.Int("large-labels", 2000, "label universe of the large graph")
+	largeCore := flag.Float64("large-core", 0.9, "strongly connected core fraction of the large graph")
+	largeReqs := flag.Int("large-requests", 24, "match requests in the large-graph scenario")
 	flag.Parse()
 
 	data := randomGraph(*dataNodes, *avgDeg, 1)
@@ -83,13 +103,14 @@ func main() {
 	mat := simmatrix.NewLabelEquality(pattern, data)
 	reach := closure.Compute(data)
 	rows := closure.NewRows(reach)
+	sparse := closure.NewCompIndex(reach)
 
 	setup := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			in := core.NewInstance(pattern, data, mat, 0.9)
 			in.SetReach(reach)
-			in.SetRows(rows)
+			in.SetIndex(rows)
 			in.BenchSetup()
 		}
 	})
@@ -106,7 +127,16 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			in := core.NewInstance(pattern, data, mat, 0.9)
 			in.SetReach(reach)
-			in.SetRows(rows)
+			in.SetIndex(rows)
+			_ = in.CompMaxCard()
+		}
+	})
+	sparseMatch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := core.NewInstance(pattern, data, mat, 0.9)
+			in.SetReach(reach)
+			in.SetIndex(sparse)
 			_ = in.CompMaxCard()
 		}
 	})
@@ -126,6 +156,9 @@ func main() {
 		MatchNsOp:             match.NsPerOp(),
 		MatchAllocsOp:         match.AllocsPerOp(),
 		MatchBytesOp:          match.AllocedBytesPerOp(),
+		SparseMatchNsOp:       sparseMatch.NsPerOp(),
+		DenseIndexBytes:       int64(rows.Bytes()),
+		SparseIndexBytes:      int64(sparse.Bytes()),
 		EngineRequests:        reqs,
 		EngineRequestsPerSec:  float64(reqs) / elapsed.Seconds(),
 	}
@@ -143,9 +176,148 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("setup %dns/%d allocs (rowbuild %dns, %.1fx), match %dns/%d allocs, engine %.0f req/s → %s",
+	log.Printf("setup %dns/%d allocs (rowbuild %dns, %.1fx), match %dns/%d allocs (sparse %dns), engine %.0f req/s → %s",
 		rep.SetupNsOp, rep.SetupAllocsOp, rep.SetupRowBuildNsOp, rep.SetupSpeedup,
-		rep.MatchNsOp, rep.MatchAllocsOp, rep.EngineRequestsPerSec, *out)
+		rep.MatchNsOp, rep.MatchAllocsOp, rep.SparseMatchNsOp, rep.EngineRequestsPerSec, *out)
+
+	if *largeNodes > 0 {
+		runLargeScenario(largeScenarioConfig{
+			out: *largeOut, nodes: *largeNodes, deg: *largeDeg,
+			labels: *largeLabels, core: *largeCore,
+			patNodes: *patNodes, requests: *largeReqs,
+		})
+	}
+}
+
+// largeReport is the BENCH_core_large.json schema: one serving-scale
+// graph registered through a real engine under the auto tier policy.
+type largeReport struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Components int    `json:"components"`
+	Tier       string `json:"tier"`
+
+	// RegisterMS is the one-off preprocessing cost: SCC condensation,
+	// component-closure propagation, and index construction.
+	RegisterMS int64 `json:"register_ms"`
+
+	// ResidentBytes is the catalog's resident closure + index memory
+	// after serving. It is compared against two dense projections:
+	// DenseRowsProjectionBytes — per-node row matrices (2·n²/8, both
+	// directions), the naive H2 materialisation that motivated the
+	// tier and the denominator of MemoryReduction — and
+	// DenseTierProjectionBytes, what this repo's SCC-aliased dense
+	// tier (closure.ProjectedRowsBytes, the number the auto policy
+	// weighs) would actually have allocated, with its own
+	// DenseTierReduction.
+	ResidentBytes            int64   `json:"resident_bytes"`
+	DenseRowsProjectionBytes int64   `json:"dense_rows_projection_bytes"`
+	MemoryReduction          float64 `json:"memory_reduction"`
+	DenseTierProjectionBytes int64   `json:"dense_tier_projection_bytes"`
+	DenseTierReduction       float64 `json:"dense_tier_reduction"`
+
+	MatchRequests  int     `json:"match_requests"`
+	MatchMsPerOp   float64 `json:"match_ms_per_op"`
+	MatchedPattern bool    `json:"matched_pattern"`
+}
+
+type largeScenarioConfig struct {
+	out                string
+	nodes, deg, labels int
+	core               float64
+	patNodes, requests int
+}
+
+// runLargeScenario drives the ≥100k-node path end to end: generate,
+// register (auto tier — must pick candidate-sparse at this size),
+// match, and report memory against the dense projection.
+func runLargeScenario(cfg largeScenarioConfig) {
+	if cfg.requests <= 0 {
+		cfg.requests = 1 // at least one request: the ms/op division needs it
+	}
+	g := syngen.GenerateLarge(syngen.LargeConfig{
+		Nodes: cfg.nodes, AvgDeg: cfg.deg, Labels: cfg.labels,
+		CoreFraction: cfg.core, Seed: 1,
+	})
+	pattern := syngen.CarvePattern(g, cfg.patNodes, 2)
+
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	regStart := time.Now()
+	if err := eng.Register("large", g); err != nil {
+		log.Fatal(err)
+	}
+	registerMS := time.Since(regStart).Milliseconds()
+
+	matched := false
+	matchStart := time.Now()
+	for i := 0; i < cfg.requests; i++ {
+		algo := engine.MaxCard
+		if i%2 == 1 {
+			algo = engine.MaxSim
+		}
+		res := eng.Match(context.Background(), engine.Request{
+			Pattern: pattern, GraphName: "large", Algo: algo, Xi: 0.9,
+		})
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		if len(res.Mapping) > 0 {
+			matched = true
+		}
+	}
+	matchMS := float64(time.Since(matchStart).Milliseconds()) / float64(cfg.requests)
+
+	st := eng.Catalog().Stats()
+	tier := "dense"
+	if st.ResidentSparse > 0 {
+		tier = "sparse"
+	}
+	n := int64(g.NumNodes())
+	projection := 2 * n * 8 * ((n + 63) / 64)
+	// The catalog holds the shared closure; reuse it for the dense-tier
+	// projection and the component count instead of recomputing.
+	reach, err := eng.Catalog().Reach("large", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := largeReport{
+		Timestamp:                time.Now().UTC().Format(time.RFC3339),
+		GoVersion:                runtime.Version(),
+		Nodes:                    g.NumNodes(),
+		Edges:                    g.NumEdges(),
+		Components:               reach.NumComponents(),
+		Tier:                     tier,
+		RegisterMS:               registerMS,
+		ResidentBytes:            st.ResidentBytes,
+		DenseRowsProjectionBytes: projection,
+		DenseTierProjectionBytes: int64(closure.ProjectedRowsBytes(reach)),
+		MatchRequests:            cfg.requests,
+		MatchMsPerOp:             matchMS,
+		MatchedPattern:           matched,
+	}
+	if st.ResidentBytes > 0 {
+		rep.MemoryReduction = float64(projection) / float64(st.ResidentBytes)
+		rep.DenseTierReduction = float64(rep.DenseTierProjectionBytes) / float64(st.ResidentBytes)
+	}
+
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("large: %d nodes / %d comps, tier %s, register %dms, match %.1fms/op, resident %.1fMB vs per-node rows %.0fMB (%.0fx) / dense tier %.0fMB (%.0fx) → %s",
+		rep.Nodes, rep.Components, rep.Tier, rep.RegisterMS, rep.MatchMsPerOp,
+		float64(rep.ResidentBytes)/1e6, float64(rep.DenseRowsProjectionBytes)/1e6,
+		rep.MemoryReduction, float64(rep.DenseTierProjectionBytes)/1e6,
+		rep.DenseTierReduction, cfg.out)
 }
 
 // engineWorkload pushes a fixed pool of requests through a fresh engine

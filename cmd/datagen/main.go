@@ -3,11 +3,15 @@
 //
 //	datagen -kind synthetic -m 200 -noise 10 -out dir/   # Sec. 6(2) workload
 //	datagen -kind web -category store -pages 2000 -out dir/
+//	datagen -kind large -nodes 100000 -deg 5 -out dir/   # serving-scale graph
 //
 // Synthetic workloads write G1 as pattern.json and each derived graph as
 // data_<i>.json. Web archives write version_<i>.json plus the two
 // skeletons of each version (skeleton1_<i>.json with α = 0.2,
-// skeleton2_<i>.json with the top-20 rule).
+// skeleton2_<i>.json with the top-20 rule). Large graphs (power-law
+// degrees, one strongly connected core — the regime the
+// candidate-sparse reachability tier serves) write large.json plus a
+// carved pattern_large.json ready for phomd smoke tests.
 package main
 
 import (
@@ -33,6 +37,12 @@ func main() {
 	category := flag.String("category", "store", "store | organization | newspaper (web)")
 	pages := flag.Int("pages", 0, "pages per version, 0 = category default (web)")
 	versions := flag.Int("versions", 11, "archive length (web)")
+	// Large options.
+	nodes := flag.Int("nodes", 100000, "graph size (large)")
+	deg := flag.Int("deg", 5, "average out-degree (large)")
+	labels := flag.Int("labels", 2000, "label universe size (large)")
+	core := flag.Float64("core", 0.9, "strongly connected core fraction (large)")
+	patSize := flag.Int("pattern-size", 12, "nodes in the carved pattern (large)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -66,6 +76,14 @@ func main() {
 		}
 		fmt.Printf("wrote %d versions (with skeletons) of a %s site to %s\n",
 			len(arch.Versions), cat, *out)
+	case "large":
+		g := syngen.GenerateLarge(syngen.LargeConfig{
+			Nodes: *nodes, AvgDeg: *deg, Labels: *labels,
+			CoreFraction: *core, Seed: *seed,
+		})
+		write(*out, "large.json", g)
+		write(*out, "pattern_large.json", syngen.CarvePattern(g, *patSize, *seed+1))
+		fmt.Printf("wrote large graph (%s) and a %d-node pattern to %s\n", g, *patSize, *out)
 	default:
 		fatal(fmt.Errorf("unknown -kind %q", *kind))
 	}

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphmatch/internal/closure"
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
 	"graphmatch/internal/httpapi"
@@ -52,6 +53,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	maxClosures := flag.Int("max-closures", 0, "LRU bound on resident reachability indexes (0 = default)")
+	maxClosureBytes := flag.Int64("max-closure-bytes", 0, "LRU byte budget for resident closures and indexes (0 = unbounded)")
+	reachTier := flag.String("reach-tier", "auto", "reachability index tier: auto (by graph size) | dense | sparse")
 	queueDepth := flag.Int("queue", 0, "pending-request queue depth (0 = 4×workers)")
 	maxExact := flag.Int("max-exact-nodes", 16, "largest pattern accepted for the exponential decide/decide11 algorithms (0 = unlimited)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
@@ -59,11 +62,18 @@ func main() {
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
 
+	tier, err := closure.ParseTierPolicy(*reachTier)
+	if err != nil {
+		log.Fatalf("phomd: %v", err)
+	}
+
 	eng := engine.New(engine.Options{
-		Workers:        *workers,
-		MaxClosures:    *maxClosures,
-		QueueDepth:     *queueDepth,
-		ExactNodeLimit: *maxExact,
+		Workers:         *workers,
+		MaxClosures:     *maxClosures,
+		MaxClosureBytes: *maxClosureBytes,
+		ReachTier:       tier,
+		QueueDepth:      *queueDepth,
+		ExactNodeLimit:  *maxExact,
 	})
 	defer eng.Close()
 

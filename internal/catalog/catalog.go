@@ -7,12 +7,21 @@
 // defaults to.
 //
 // The Catalog keeps every registered graph resident but bounds the
-// number of resident reachability indexes with an LRU policy, because a
-// closure can be quadratically larger than its graph. Closure builds
+// resident reachability indexes with an LRU policy — by count
+// (MaxClosures) and optionally by total bytes (WithMaxBytes) — because
+// a closure can be quadratically larger than its graph. Closure builds
 // are single-flight: concurrent requests for the same (graph, path
 // limit) pair wait for one build instead of racing to duplicate it.
 // Hit/miss/eviction counters expose cache effectiveness to /v1/stats
 // and the benchmarks.
+//
+// Each cached closure also carries a matcher-facing reachability index
+// (closure.Index) in one of two tiers, selected automatically by
+// projected size: small graphs get dense per-node closure rows (fast
+// word-level trims), large graphs get the candidate-sparse
+// component-probe tier whose footprint is O(n + k²) in the number of
+// SCC-condensation components k rather than O(n²) — the representation
+// that lets the catalog register ≥100k-node data graphs at all.
 package catalog
 
 import (
@@ -41,6 +50,33 @@ var (
 // is given.
 const DefaultMaxClosures = 64
 
+// Option customises a Catalog beyond the resident-closure count bound.
+type Option func(*Catalog)
+
+// WithMaxBytes bounds the total resident bytes of cached reachability
+// indexes (closures plus their tier indexes). When an insertion or a
+// build pushes the resident total past the budget, least-recently-used
+// entries are evicted until it fits again — except the entry just
+// touched, so a single closure larger than the budget still serves its
+// requests (it just evicts everything else and is dropped on the next
+// miss). Non-positive means unbounded (the default).
+func WithMaxBytes(n int64) Option {
+	return func(c *Catalog) { c.maxBytes = n }
+}
+
+// WithTierPolicy fixes the reachability-index tier instead of the
+// default auto selection by projected size.
+func WithTierPolicy(p closure.TierPolicy) Option {
+	return func(c *Catalog) { c.tierPolicy = p }
+}
+
+// WithDenseMaxBytes overrides the auto-tier threshold: graphs whose
+// projected dense rows exceed n bytes get the candidate-sparse tier.
+// Non-positive keeps closure.DefaultDenseMaxBytes.
+func WithDenseMaxBytes(n int) Option {
+	return func(c *Catalog) { c.denseMaxBytes = n }
+}
+
 // Stats is a point-in-time snapshot of catalog effectiveness.
 type Stats struct {
 	// Graphs is the number of registered data graphs.
@@ -48,17 +84,29 @@ type Stats struct {
 	// ResidentClosures counts reachability indexes currently cached
 	// (including ones still being built).
 	ResidentClosures int `json:"resident_closures"`
-	// ResidentRows counts cached closures whose materialised row
-	// matrices (forward/backward closure rows over node IDs) have been
-	// built; rows are built lazily, on the first request that runs a
-	// row-consuming algorithm.
-	ResidentRows int `json:"resident_rows"`
+	// ResidentIndexes counts cached closures whose matcher-facing
+	// reachability index has been built; indexes are built lazily, on
+	// the first request that runs an index-consuming algorithm.
+	ResidentIndexes int `json:"resident_indexes"`
+	// ResidentDense and ResidentSparse break ResidentIndexes down by
+	// tier (dense closure rows vs candidate-sparse component probes).
+	ResidentDense  int `json:"resident_dense"`
+	ResidentSparse int `json:"resident_sparse"`
+	// DenseIndexBytes and SparseIndexBytes approximate the heap held by
+	// resident indexes of each tier, beyond the closures they derive
+	// from.
+	DenseIndexBytes  int64 `json:"dense_index_bytes"`
+	SparseIndexBytes int64 `json:"sparse_index_bytes"`
 	// ResidentBytes approximates the heap held by resident reachability
-	// indexes and closure rows — the quantity the MaxClosures LRU bound
-	// is protecting.
+	// closures and their indexes — the quantity the LRU bounds protect.
 	ResidentBytes int64 `json:"resident_bytes"`
-	// MaxClosures is the LRU capacity.
+	// MaxClosures is the LRU capacity by entry count.
 	MaxClosures int `json:"max_closures"`
+	// MaxBytes is the LRU capacity by resident bytes; 0 = unbounded.
+	MaxBytes int64 `json:"max_bytes"`
+	// TierPolicy is the index tier selection in force (auto, dense or
+	// sparse).
+	TierPolicy string `json:"tier_policy"`
 	// Hits counts Reach calls served from the cache.
 	Hits uint64 `json:"hits"`
 	// Misses counts Reach calls that had to build a closure.
@@ -89,27 +137,28 @@ type closureKey struct {
 // entry is one cache slot. ready is closed once reach is final, so
 // lookups can wait for an in-flight build without holding the catalog
 // lock. Builds cannot fail (closure.ComputeBounded is total), so the
-// slot carries no error. The materialised closure rows ride in the same
-// slot — built lazily (single-flight via rowsOnce) because only the
-// approximation algorithms consume them — so the LRU bound accounts
-// for closure and rows together and eviction drops both. bytes and
-// rowsBytes are maintained under the catalog lock for the ResidentBytes
-// stat.
+// slot carries no error. The matcher-facing reachability index rides
+// in the same slot — built lazily (single-flight via idxOnce) because
+// only the approximation algorithms consume it — so the LRU bounds
+// account for closure and index together and eviction drops both.
+// bytes and idxBytes are maintained under the catalog lock for the
+// ResidentBytes stat.
 type entry struct {
 	key   closureKey
 	elem  *list.Element
 	ready chan struct{}
 	reach *closure.Reach
 
-	rowsOnce sync.Once
-	rows     *closure.Rows
+	idxOnce sync.Once
+	idx     closure.Index
 
-	bytes     int64
-	rowsBytes int64
-	// rowsCounted records that this entry contributed to residentRows
-	// (rowsBytes alone cannot: a tiny graph's rows can round to zero
-	// bytes while still being resident).
-	rowsCounted bool
+	bytes    int64
+	idxBytes int64
+	idxTier  closure.Tier
+	// idxCounted records that this entry contributed to the per-tier
+	// resident counters (idxBytes alone cannot: a tiny graph's index
+	// can round to zero bytes while still being resident).
+	idxCounted bool
 }
 
 // graphEntry is one registered data graph plus its lazily computed,
@@ -130,25 +179,41 @@ type Catalog struct {
 	closures map[closureKey]*entry
 	lru      *list.List // front = most recently used; values are *entry
 	capacity int
+	maxBytes int64 // 0 = unbounded
+
+	tierPolicy    closure.TierPolicy
+	denseMaxBytes int
 
 	hits, misses, evictions uint64
 	buildTime               time.Duration
 	residentBytes           int64
-	residentRows            int
+	residentDense           int
+	residentSparse          int
+	denseBytes              int64
+	sparseBytes             int64
 }
 
 // New returns an empty catalog bounding resident closures at
-// maxClosures (DefaultMaxClosures when non-positive).
-func New(maxClosures int) *Catalog {
+// maxClosures (DefaultMaxClosures when non-positive), customised by
+// opts.
+func New(maxClosures int, opts ...Option) *Catalog {
 	if maxClosures <= 0 {
 		maxClosures = DefaultMaxClosures
 	}
-	return &Catalog{
-		graphs:   make(map[string]*graphEntry),
-		closures: make(map[closureKey]*entry),
-		lru:      list.New(),
-		capacity: maxClosures,
+	c := &Catalog{
+		graphs:     make(map[string]*graphEntry),
+		closures:   make(map[closureKey]*entry),
+		lru:        list.New(),
+		capacity:   maxClosures,
+		tierPolicy: closure.PolicyAuto,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.tierPolicy == "" {
+		c.tierPolicy = closure.PolicyAuto
+	}
+	return c
 }
 
 // Register adds a data graph under name and eagerly builds its
@@ -197,11 +262,18 @@ func (c *Catalog) Remove(name string) error {
 // dropAccountingLocked retires an entry's contribution to the resident
 // memory stats. Callers hold c.mu.
 func (c *Catalog) dropAccountingLocked(e *entry) {
-	c.residentBytes -= e.bytes + e.rowsBytes
-	if e.rowsCounted {
-		c.residentRows--
+	c.residentBytes -= e.bytes + e.idxBytes
+	if e.idxCounted {
+		switch e.idxTier {
+		case closure.TierSparse:
+			c.residentSparse--
+			c.sparseBytes -= e.idxBytes
+		default:
+			c.residentDense--
+			c.denseBytes -= e.idxBytes
+		}
 	}
-	e.bytes, e.rowsBytes, e.rowsCounted = 0, 0, false
+	e.bytes, e.idxBytes, e.idxCounted = 0, 0, false
 }
 
 // Get returns the registered graph.
@@ -276,37 +348,47 @@ func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closu
 	return g, e.reach, nil
 }
 
-// GetWithRows resolves the named graph, its reachability index, and the
-// materialised closure rows (forward/backward rows of G2+, the
-// representation the compMaxCard/compMaxSim trim consumes) as one
-// consistent triple. Rows are built once per cached closure —
-// single-flight, like the closure itself — and shared by every request,
-// so per-request matcher setup does not re-materialise the O(n²) row
-// matrices.
-func (c *Catalog) GetWithRows(name string, pathLimit int) (*graph.Graph, *closure.Reach, *closure.Rows, error) {
+// GetWithIndex resolves the named graph, its reachability closure, and
+// the matcher-facing index (the representation the compMaxCard /
+// compMaxSim trim consumes, in whichever tier the catalog's policy
+// selects for the graph's size) as one consistent triple. The index is
+// built once per cached closure — single-flight, like the closure
+// itself — and shared by every request, so per-request matcher setup
+// materialises nothing.
+func (c *Catalog) GetWithIndex(name string, pathLimit int) (*graph.Graph, *closure.Reach, closure.Index, error) {
 	g, e, err := c.getEntry(name, pathLimit)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	e.rowsOnce.Do(func() {
+	e.idxOnce.Do(func() {
 		start := time.Now()
-		e.rows = closure.NewRows(e.reach)
+		e.idx = closure.BuildIndex(e.reach, c.tierPolicy, c.denseMaxBytes)
 		built := time.Since(start)
-		rb := int64(e.rows.Bytes())
+		ib := int64(e.idx.Bytes())
+		tier := e.idx.Tier()
 		c.mu.Lock()
 		c.buildTime += built
 		// Account only while the entry is still resident; an entry
 		// evicted mid-build keeps serving its direct waiters but no
 		// longer counts toward resident memory.
 		if c.closures[e.key] == e {
-			e.rowsBytes = rb
-			e.rowsCounted = true
-			c.residentBytes += rb
-			c.residentRows++
+			e.idxBytes = ib
+			e.idxTier = tier
+			e.idxCounted = true
+			c.residentBytes += ib
+			switch tier {
+			case closure.TierSparse:
+				c.residentSparse++
+				c.sparseBytes += ib
+			default:
+				c.residentDense++
+				c.denseBytes += ib
+			}
+			c.evictBytesLocked(e)
 		}
 		c.mu.Unlock()
 	})
-	return g, e.reach, e.rows, nil
+	return g, e.reach, e.idx, nil
 }
 
 // getEntry resolves the graph and the cache slot for (name, pathLimit),
@@ -349,14 +431,15 @@ func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, er
 	if c.closures[key] == e { // not evicted while building
 		e.bytes = rb
 		c.residentBytes += rb
+		c.evictBytesLocked(e)
 	}
 	c.mu.Unlock()
 	return g, e, nil
 }
 
-// evictLocked enforces the LRU bound. In-flight builds may be evicted —
-// their waiters keep a direct pointer to the entry and are unaffected;
-// the closure simply is not retained once they are done.
+// evictLocked enforces the count LRU bound. In-flight builds may be
+// evicted — their waiters keep a direct pointer to the entry and are
+// unaffected; the closure simply is not retained once they are done.
 func (c *Catalog) evictLocked() {
 	for c.lru.Len() > c.capacity {
 		back := c.lru.Back()
@@ -371,6 +454,35 @@ func (c *Catalog) evictLocked() {
 	}
 }
 
+// evictBytesLocked enforces the byte LRU bound after an accounting
+// update. keep — the entry whose build just landed — is never the
+// victim: evicting the closure a request is actively consuming would
+// thrash (rebuild, re-evict, repeat) whenever one graph alone exceeds
+// the budget, so a single oversized entry instead empties the rest of
+// the cache and is dropped on the next miss. keep is merely skipped,
+// not a stop condition — it can sit at the LRU back when a concurrent
+// hit promoted another entry mid-build, and the budget must still win
+// against the entries in front of it. Callers hold c.mu.
+func (c *Catalog) evictBytesLocked(keep *entry) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.residentBytes > c.maxBytes {
+		el := c.lru.Back()
+		if el != nil && el.Value.(*entry) == keep {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		victim := el.Value.(*entry)
+		c.lru.Remove(el)
+		c.dropAccountingLocked(victim)
+		delete(c.closures, victim.key)
+		c.evictions++
+	}
+}
+
 // Stats snapshots the counters.
 func (c *Catalog) Stats() Stats {
 	c.mu.Lock()
@@ -378,9 +490,15 @@ func (c *Catalog) Stats() Stats {
 	return Stats{
 		Graphs:           len(c.graphs),
 		ResidentClosures: c.lru.Len(),
-		ResidentRows:     c.residentRows,
+		ResidentIndexes:  c.residentDense + c.residentSparse,
+		ResidentDense:    c.residentDense,
+		ResidentSparse:   c.residentSparse,
+		DenseIndexBytes:  c.denseBytes,
+		SparseIndexBytes: c.sparseBytes,
 		ResidentBytes:    c.residentBytes,
 		MaxClosures:      c.capacity,
+		MaxBytes:         c.maxBytes,
+		TierPolicy:       string(c.tierPolicy),
 		Hits:             c.hits,
 		Misses:           c.misses,
 		Evictions:        c.evictions,

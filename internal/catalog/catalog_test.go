@@ -3,10 +3,10 @@ package catalog
 import (
 	"errors"
 	"fmt"
-	"reflect"
 	"sync"
 	"testing"
 
+	"graphmatch/internal/closure"
 	"graphmatch/internal/graph"
 )
 
@@ -237,69 +237,156 @@ func TestStatsHitRate(t *testing.T) {
 	}
 }
 
-func TestGetWithRowsSharedAndConsistent(t *testing.T) {
+func TestGetWithIndexSharedAndConsistent(t *testing.T) {
 	c := New(4)
 	g := chain(12)
 	if err := c.Register("web", g); err != nil {
 		t.Fatal(err)
 	}
-	g1, r1, rows1, err := c.GetWithRows("web", 0)
+	g1, r1, idx1, err := c.GetWithIndex("web", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, r2, rows2, err := c.GetWithRows("web", 0)
+	g2, r2, idx2, err := c.GetWithIndex("web", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g1 != g2 || r1 != r2 || rows1 != rows2 {
-		t.Fatal("GetWithRows must return the shared (graph, reach, rows) triple")
+	if g1 != g2 || r1 != r2 || idx1 != idx2 {
+		t.Fatal("GetWithIndex must return the shared (graph, reach, index) triple")
 	}
-	// The rows must agree with the reach they derive from.
+	// The index must agree with the reach it derives from.
 	for u := 0; u < g.NumNodes(); u++ {
 		for v := 0; v < g.NumNodes(); v++ {
-			if rows1.Fwd(graph.NodeID(u)).Contains(v) != r1.Reachable(graph.NodeID(u), graph.NodeID(v)) {
-				t.Fatalf("rows disagree with reach at (%d,%d)", u, v)
+			if idx1.Reachable(graph.NodeID(u), graph.NodeID(v)) != r1.Reachable(graph.NodeID(u), graph.NodeID(v)) {
+				t.Fatalf("index disagrees with reach at (%d,%d)", u, v)
 			}
 		}
 	}
-	// A different path limit is a different cache slot with its own rows.
-	_, rb, rowsB, err := c.GetWithRows("web", 1)
+	// A different path limit is a different cache slot with its own index.
+	_, rb, idxB, err := c.GetWithIndex("web", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rowsB == rows1 || rb == r1 {
+	if idxB == idx1 || rb == r1 {
 		t.Fatal("bounded index must not share the unbounded slot")
 	}
 }
 
-func TestConcurrentRowsSingleFlight(t *testing.T) {
+func TestTierPolicySelection(t *testing.T) {
+	g := chain(16)
+	for _, tc := range []struct {
+		opts []Option
+		want closure.Tier
+	}{
+		{nil, closure.TierDense}, // auto on a tiny graph
+		{[]Option{WithTierPolicy(closure.PolicySparse)}, closure.TierSparse},
+		{[]Option{WithTierPolicy(closure.PolicyDense)}, closure.TierDense},
+		// Auto with a 1-byte dense budget tips over to sparse.
+		{[]Option{WithDenseMaxBytes(1)}, closure.TierSparse},
+	} {
+		c := New(4, tc.opts...)
+		if err := c.Register("web", g.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		_, _, idx, err := c.GetWithIndex("web", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Tier() != tc.want {
+			t.Fatalf("opts %v built tier %q, want %q", tc.opts, idx.Tier(), tc.want)
+		}
+		st := c.Stats()
+		wantDense, wantSparse := 1, 0
+		if tc.want == closure.TierSparse {
+			wantDense, wantSparse = 0, 1
+		}
+		if st.ResidentDense != wantDense || st.ResidentSparse != wantSparse {
+			t.Fatalf("per-tier counts %d/%d, want %d/%d", st.ResidentDense, st.ResidentSparse, wantDense, wantSparse)
+		}
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	// A budget big enough for roughly one chain(60) closure: resolving a
+	// second graph must evict the first, but never the entry just
+	// resolved.
+	c := New(16, WithMaxBytes(int64(closureFootprint(60))+64))
+	for _, name := range []string{"a", "b"} {
+		if err := c.Register(name, chain(60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no byte-budget evictions after two registrations: %+v", st)
+	}
+	if st.MaxBytes <= 0 {
+		t.Fatalf("MaxBytes = %d, want > 0", st.MaxBytes)
+	}
+	if st.ResidentBytes > st.MaxBytes {
+		t.Fatalf("ResidentBytes %d exceeds budget %d", st.ResidentBytes, st.MaxBytes)
+	}
+	// The most recent graph must still resolve from cache (a hit).
+	before := c.Stats().Hits
+	if _, _, err := c.GetWithReach("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != before+1 {
+		t.Fatal("byte eviction removed the most recently resolved entry")
+	}
+}
+
+func TestByteBudgetKeepsOversizedEntryServing(t *testing.T) {
+	// One graph alone blows the budget: its requests must still be
+	// served (the entry survives as the sole resident) rather than
+	// thrashing.
+	c := New(16, WithMaxBytes(8))
+	if err := c.Register("big", chain(40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.GetWithIndex("big", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ResidentClosures != 1 {
+		t.Fatalf("ResidentClosures = %d, want the oversized entry to stay resident", st.ResidentClosures)
+	}
+}
+
+// closureFootprint reports the resident bytes of one chain(n) closure
+// as the catalog accounts them.
+func closureFootprint(n int) int {
+	return closure.Compute(chain(n)).Bytes()
+}
+
+func TestConcurrentIndexSingleFlight(t *testing.T) {
 	c := New(4)
 	if err := c.Register("web", chain(60)); err != nil {
 		t.Fatal(err)
 	}
 	const goroutines = 16
 	var wg sync.WaitGroup
-	got := make([]uintptr, goroutines)
+	got := make([]closure.Index, goroutines)
 	for i := 0; i < goroutines; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, rows, err := c.GetWithRows("web", 0)
+			_, _, idx, err := c.GetWithIndex("web", 0)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			got[i] = reflect.ValueOf(rows).Pointer()
+			got[i] = idx
 		}(i)
 	}
 	wg.Wait()
 	for i := 1; i < goroutines; i++ {
 		if got[i] != got[0] {
-			t.Fatal("concurrent GetWithRows built more than one Rows")
+			t.Fatal("concurrent GetWithIndex built more than one index")
 		}
 	}
-	if st := c.Stats(); st.ResidentRows != 1 {
-		t.Fatalf("ResidentRows = %d, want 1", st.ResidentRows)
+	if st := c.Stats(); st.ResidentIndexes != 1 {
+		t.Fatalf("ResidentIndexes = %d, want 1", st.ResidentIndexes)
 	}
 }
 
@@ -314,18 +401,18 @@ func TestMemoryAccounting(t *testing.T) {
 	if st.ResidentBytes <= 0 {
 		t.Fatalf("ResidentBytes = %d, want > 0 after registration", st.ResidentBytes)
 	}
-	if st.ResidentRows != 0 {
-		t.Fatalf("ResidentRows = %d, want 0 before any row consumer", st.ResidentRows)
+	if st.ResidentIndexes != 0 {
+		t.Fatalf("ResidentIndexes = %d, want 0 before any index consumer", st.ResidentIndexes)
 	}
-	if _, _, _, err := c.GetWithRows("a", 0); err != nil {
+	if _, _, _, err := c.GetWithIndex("a", 0); err != nil {
 		t.Fatal(err)
 	}
-	withRows := c.Stats()
-	if withRows.ResidentRows != 1 {
-		t.Fatalf("ResidentRows = %d, want 1", withRows.ResidentRows)
+	withIdx := c.Stats()
+	if withIdx.ResidentIndexes != 1 {
+		t.Fatalf("ResidentIndexes = %d, want 1", withIdx.ResidentIndexes)
 	}
-	if withRows.ResidentBytes <= st.ResidentBytes {
-		t.Fatal("materialising rows must grow ResidentBytes")
+	if withIdx.ResidentBytes <= st.ResidentBytes {
+		t.Fatal("materialising the index must grow ResidentBytes")
 	}
 	// Filling the LRU with fresh slots evicts the old ones and returns
 	// their bytes; removing everything zeroes the account.
@@ -342,30 +429,67 @@ func TestMemoryAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	end := c.Stats()
-	if end.ResidentBytes != 0 || end.ResidentRows != 0 || end.ResidentClosures != 0 {
+	if end.ResidentBytes != 0 || end.ResidentIndexes != 0 || end.ResidentClosures != 0 {
 		t.Fatalf("after removing all graphs: %+v, want empty accounting", end)
+	}
+	if end.ResidentDense != 0 || end.ResidentSparse != 0 || end.DenseIndexBytes != 0 || end.SparseIndexBytes != 0 {
+		t.Fatalf("per-tier accounting not zeroed: %+v", end)
 	}
 }
 
-func TestResidentRowsAccountingZeroByteRows(t *testing.T) {
-	// A 0-node graph's rows occupy zero bytes but are still resident;
-	// the ResidentRows counter must balance across build and removal
+func TestResidentIndexAccountingZeroByteIndex(t *testing.T) {
+	// A 0-node graph's index occupies zero bytes but is still resident;
+	// the ResidentIndexes counter must balance across build and removal
 	// even then.
 	c := New(2)
 	empty := graph.New(0)
 	if err := c.Register("empty", empty); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := c.GetWithRows("empty", 0); err != nil {
+	if _, _, _, err := c.GetWithIndex("empty", 0); err != nil {
 		t.Fatal(err)
 	}
-	if st := c.Stats(); st.ResidentRows != 1 {
-		t.Fatalf("ResidentRows = %d, want 1", st.ResidentRows)
+	if st := c.Stats(); st.ResidentIndexes != 1 {
+		t.Fatalf("ResidentIndexes = %d, want 1", st.ResidentIndexes)
 	}
 	if err := c.Remove("empty"); err != nil {
 		t.Fatal(err)
 	}
-	if st := c.Stats(); st.ResidentRows != 0 || st.ResidentBytes != 0 {
+	if st := c.Stats(); st.ResidentIndexes != 0 || st.ResidentBytes != 0 {
 		t.Fatalf("after remove: %+v, want zeroed accounting", st)
+	}
+}
+
+func TestByteBudgetEvictsPastKeptEntry(t *testing.T) {
+	// keep can sit at the LRU back when a concurrent hit promoted
+	// another entry between keep's insertion and its build landing; the
+	// evictor must skip keep and still reclaim the entries in front of
+	// it, not give up. White-box: the interleaving is driven directly
+	// because it needs a hit mid-build.
+	c := New(16) // no byte budget yet: both entries must come resident
+	for _, name := range []string{"a", "b"} {
+		if err := c.Register(name, chain(30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	keep := c.closures[closureKey{name: "b", pathLimit: 0}]
+	if keep == nil {
+		t.Fatalf("entry b missing")
+	}
+	c.lru.MoveToBack(keep.elem) // the concurrent-hit-promoted-a shape
+	c.maxBytes = 1              // now force the budget under both entries
+	c.evictBytesLocked(keep)
+	c.mu.Unlock()
+	st := c.Stats()
+	if st.ResidentClosures != 1 {
+		t.Fatalf("ResidentClosures = %d, want only the kept entry resident", st.ResidentClosures)
+	}
+	c.mu.Lock()
+	_, aAlive := c.closures[closureKey{name: "a", pathLimit: 0}]
+	_, bAlive := c.closures[closureKey{name: "b", pathLimit: 0}]
+	c.mu.Unlock()
+	if aAlive || !bAlive {
+		t.Fatalf("evictor kept a=%v b=%v, want the non-kept entry evicted", aAlive, bAlive)
 	}
 }

@@ -140,6 +140,12 @@ func ComputeBFS(g *graph.Graph) *Reach {
 // NumNodes reports the number of nodes the index covers.
 func (r *Reach) NumNodes() int { return r.n }
 
+// NumComponents reports the number of components the index stores —
+// the k that sizes the candidate-sparse tier's O(k²) footprint (equal
+// to NumNodes for the per-node constructions ComputeBFS and
+// ComputeBounded).
+func (r *Reach) NumComponents() int { return len(r.compReach) }
+
 // Reachable reports whether a nonempty path from u to v exists.
 func (r *Reach) Reachable(u, v graph.NodeID) bool {
 	return r.compReach[r.comp[u]].Contains(r.comp[v])

@@ -1,0 +1,164 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphmatch/internal/bitset"
+	"graphmatch/internal/graph"
+)
+
+// tierIndexes builds both tiers over the same Reach.
+func tierIndexes(r *Reach) []Index {
+	return []Index{NewRows(r), NewCompIndex(r)}
+}
+
+func TestIndexTiersAgreeOnQueries(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomRowsGraph(25+int(seed), 60+4*int(seed), seed)
+		for _, r := range []*Reach{Compute(g), ComputeBFS(g), ComputeBounded(g, 2)} {
+			rows, comp := NewRows(r), NewCompIndex(r)
+			n := r.NumNodes()
+			for u := 0; u < n; u++ {
+				uu := graph.NodeID(u)
+				if rows.FanOut(uu) != comp.FanOut(uu) {
+					t.Fatalf("seed %d: FanOut(%d): dense %d, sparse %d", seed, u, rows.FanOut(uu), comp.FanOut(uu))
+				}
+				if rows.FanIn(uu) != comp.FanIn(uu) {
+					t.Fatalf("seed %d: FanIn(%d): dense %d, sparse %d", seed, u, rows.FanIn(uu), comp.FanIn(uu))
+				}
+				for v := 0; v < n; v++ {
+					vv := graph.NodeID(v)
+					want := r.Reachable(uu, vv)
+					if rows.Reachable(uu, vv) != want || comp.Reachable(uu, vv) != want {
+						t.Fatalf("seed %d: Reachable(%d,%d) disagrees with Reach", seed, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexTiersAgreeOnSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomRowsGraph(30, 80, seed)
+		r := Compute(g)
+		rows, comp := NewRows(r), NewCompIndex(r)
+		n := r.NumNodes()
+		for trial := 0; trial < 40; trial++ {
+			cand := bitset.New(n)
+			for v := 0; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					cand.Add(v)
+				}
+			}
+			u := graph.NodeID(rng.Intn(n))
+			needBwd, needFwd := rng.Intn(2) == 0, rng.Intn(2) == 0
+			if !needBwd && !needFwd {
+				needFwd = true
+			}
+			// Pre-dirty the outputs: Split must fully overwrite them.
+			dk, dm := bitset.New(n), bitset.New(n)
+			dk.Fill()
+			dm.Fill()
+			sk, sm := bitset.New(n), bitset.New(n)
+			sk.Fill()
+			sm.Fill()
+			k1, m1 := rows.Split(cand, u, needBwd, needFwd, dk, dm)
+			k2, m2 := comp.Split(cand, u, needBwd, needFwd, sk, sm)
+			if k1 != k2 || m1 != m2 {
+				t.Fatalf("seed %d: Split flags disagree: dense (%v,%v) sparse (%v,%v)", seed, k1, m1, k2, m2)
+			}
+			if !dk.Equal(sk) || !dm.Equal(sm) {
+				t.Fatalf("seed %d u=%d bwd=%v fwd=%v: Split sets disagree", seed, u, needBwd, needFwd)
+			}
+			// Cross-check against the point queries.
+			for w := cand.Next(0); w >= 0; w = cand.Next(w + 1) {
+				ww := graph.NodeID(w)
+				want := (!needBwd || r.Reachable(ww, u)) && (!needFwd || r.Reachable(u, ww))
+				if dk.Contains(w) != want || dm.Contains(w) == want {
+					t.Fatalf("seed %d: Split misplaced candidate %d", seed, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCompIndexBytesSmall(t *testing.T) {
+	// The whole point of the sparse tier: its owned memory is O(k), not
+	// O(n²) — on a graph with one big SCC it must undercut the dense
+	// rows by orders of magnitude.
+	n := 512
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("x")
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n)) // one giant cycle
+	}
+	g.Finish()
+	r := Compute(g)
+	comp := NewCompIndex(r)
+	rows := NewRows(r)
+	if comp.Bytes() >= rows.Bytes() {
+		t.Fatalf("CompIndex.Bytes %d not below Rows.Bytes %d", comp.Bytes(), rows.Bytes())
+	}
+	if comp.Bytes() <= 0 {
+		t.Fatalf("CompIndex.Bytes = %d, want > 0", comp.Bytes())
+	}
+}
+
+func TestProjectedRowsBytes(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomRowsGraph(40+int(seed), 100, seed)
+		for _, r := range []*Reach{Compute(g), ComputeBFS(g)} {
+			if got, want := ProjectedRowsBytes(r), NewRows(r).Bytes(); got != want {
+				t.Fatalf("seed %d: ProjectedRowsBytes = %d, NewRows allocated %d", seed, got, want)
+			}
+		}
+	}
+}
+
+func TestParseTierPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want TierPolicy
+		ok   bool
+	}{
+		{"", PolicyAuto, true},
+		{"auto", PolicyAuto, true},
+		{"dense", PolicyDense, true},
+		{"sparse", PolicySparse, true},
+		{"rows", "", false},
+	} {
+		got, err := ParseTierPolicy(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseTierPolicy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseTierPolicy(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBuildIndexPolicy(t *testing.T) {
+	g := randomRowsGraph(60, 150, 3)
+	r := Compute(g)
+	if tier := BuildIndex(r, PolicyDense, 0).Tier(); tier != TierDense {
+		t.Fatalf("PolicyDense built %q", tier)
+	}
+	if tier := BuildIndex(r, PolicySparse, 0).Tier(); tier != TierSparse {
+		t.Fatalf("PolicySparse built %q", tier)
+	}
+	// Auto: a tiny budget forces sparse, a huge one allows dense.
+	if tier := BuildIndex(r, PolicyAuto, 1).Tier(); tier != TierSparse {
+		t.Fatalf("auto with 1-byte budget built %q", tier)
+	}
+	if tier := BuildIndex(r, PolicyAuto, 1<<30).Tier(); tier != TierDense {
+		t.Fatalf("auto with 1GiB budget built %q", tier)
+	}
+	if tier := AutoIndex(r).Tier(); tier != TierDense {
+		t.Fatalf("AutoIndex on a 60-node graph built %q, want dense", tier)
+	}
+}

@@ -8,11 +8,13 @@ import (
 // Rows materialises a Reach index as dense bitset rows over node IDs in
 // both directions: Fwd(u) is {w : u ⇝ w} and Bwd(u) is {w : w ⇝ u},
 // each as a word-level bitset ready for And/AndNot sweeps. This is the
-// representation the compMaxCard/compMaxSim inner loop consumes (the
-// trim of Fig. 4 intersects candidate sets against closure rows of
-// G2+), factored out of the matcher so it can be built once per data
-// graph and shared by every request instead of re-materialised per
-// matcher.
+// dense tier of the Index abstraction — the representation the
+// compMaxCard/compMaxSim inner loop consumes on small graphs (the trim
+// of Fig. 4 intersects candidate sets against closure rows of G2+),
+// factored out of the matcher so it can be built once per data graph
+// and shared by every request instead of re-materialised per matcher.
+// Beyond the auto-tier threshold the candidate-sparse CompIndex takes
+// over (see index.go).
 //
 // Nodes in the same SCC have identical closure rows, so Rows allocates
 // one row per component and aliases it across members; when the Reach

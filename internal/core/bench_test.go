@@ -50,12 +50,12 @@ func benchPattern(g *graph.Graph, size int, seed int64) *graph.Graph {
 }
 
 // benchFixture returns the shared (catalog-resident) state: data graph,
-// pattern, closure, rows, and matrix.
-func benchFixture() (g1, g2 *graph.Graph, mat simmatrix.Matrix, reach *closure.Reach, rows *closure.Rows) {
+// pattern, closure, dense-tier index, and matrix.
+func benchFixture() (g1, g2 *graph.Graph, mat simmatrix.Matrix, reach *closure.Reach, idx closure.Index) {
 	g2 = benchGraph(400, 4, 1)
 	g1 = benchPattern(g2, 10, 100)
 	reach = closure.Compute(g2)
-	rows = closure.NewRows(reach)
+	idx = closure.NewRows(reach)
 	mat = simmatrix.NewLabelEquality(g1, g2)
 	return
 }
@@ -63,13 +63,13 @@ func benchFixture() (g1, g2 *graph.Graph, mat simmatrix.Matrix, reach *closure.R
 // BenchmarkMatcherSetup is per-request matcher construction with the
 // catalog-shared closure AND rows installed — the serving fast path.
 func BenchmarkMatcherSetup(b *testing.B) {
-	g1, g2, mat, reach, rows := benchFixture()
+	g1, g2, mat, reach, idx := benchFixture()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := NewInstance(g1, g2, mat, 0.9)
 		in.SetReach(reach)
-		in.SetRows(rows)
+		in.SetIndex(idx)
 		_ = in.newMatcher(false)
 	}
 }
@@ -93,13 +93,30 @@ func BenchmarkMatcherSetupRowBuild(b *testing.B) {
 // instance construction, matcher setup, and the compMaxCard run, all
 // against shared catalog state.
 func BenchmarkCompMaxCardServing(b *testing.B) {
-	g1, g2, mat, reach, rows := benchFixture()
+	g1, g2, mat, reach, idx := benchFixture()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := NewInstance(g1, g2, mat, 0.9)
 		in.SetReach(reach)
-		in.SetRows(rows)
+		in.SetIndex(idx)
+		_ = in.CompMaxCard()
+	}
+}
+
+// BenchmarkCompMaxCardSparseTier is the same serving-shaped request
+// under the candidate-sparse index tier — the representation large
+// registered graphs get — quantifying the throughput cost of the O(k)
+// memory footprint against the dense baseline above.
+func BenchmarkCompMaxCardSparseTier(b *testing.B) {
+	g1, g2, mat, reach, _ := benchFixture()
+	sparse := closure.NewCompIndex(reach)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInstance(g1, g2, mat, 0.9)
+		in.SetReach(reach)
+		in.SetIndex(sparse)
 		_ = in.CompMaxCard()
 	}
 }
@@ -107,13 +124,13 @@ func BenchmarkCompMaxCardServing(b *testing.B) {
 // BenchmarkCompMaxSimServing is the similarity variant of the above
 // (weight buckets, memoized weight rows, weight-greedy picks).
 func BenchmarkCompMaxSimServing(b *testing.B) {
-	g1, g2, mat, reach, rows := benchFixture()
+	g1, g2, mat, reach, idx := benchFixture()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := NewInstance(g1, g2, mat, 0.9)
 		in.SetReach(reach)
-		in.SetRows(rows)
+		in.SetIndex(idx)
 		_ = in.CompMaxSim()
 	}
 }
@@ -123,10 +140,10 @@ func BenchmarkCompMaxSimServing(b *testing.B) {
 // which every round should run allocation-free (pinned exactly by
 // TestGreedyMatchAllocationFree).
 func BenchmarkGreedyMatchSteadyState(b *testing.B) {
-	g1, g2, mat, reach, rows := benchFixture()
+	g1, g2, mat, reach, idx := benchFixture()
 	in := NewInstance(g1, g2, mat, 0.9)
 	in.SetReach(reach)
-	in.SetRows(rows)
+	in.SetIndex(idx)
 	mx := in.newMatcher(false)
 	h := mx.initialList()
 	s, c := mx.greedyMatch(h)

@@ -83,14 +83,14 @@ type Instance struct {
 	// call.
 	MaxPathLen int
 
-	// mu guards lazy initialisation of reach and rows. A mutex rather
+	// mu guards lazy initialisation of reach and idx. A mutex rather
 	// than sync.Once: the build must be single-flight AND other
 	// methods (Symmetric, filterCandidates) need to peek at what is
 	// already cached without forcing a build, which Once cannot offer
 	// race-free.
 	mu    sync.Mutex
 	reach *closure.Reach
-	rows  *closure.Rows
+	idx   closure.Index
 }
 
 // NewInstance builds an instance. Xi outside [0, 1] is clamped.
@@ -135,39 +135,42 @@ func (in *Instance) SetReach(r *closure.Reach) {
 	in.mu.Unlock()
 }
 
-// Rows returns the cached closure rows of G2 — the forward and backward
-// rows of G2+ that greedyMatch's trim intersects candidate sets against
-// — deriving them from Reach on first use. Like Reach, lazy
-// initialisation is single-flight and the result is immutable and safe
-// to share across concurrent algorithm calls.
-func (in *Instance) Rows() *closure.Rows {
+// Index returns the cached reachability index of G2 in the
+// representation greedyMatch's trim consumes — the dense closure rows
+// of G2+ on small graphs, the candidate-sparse component probes beyond
+// the auto-tier threshold (closure.AutoIndex) — deriving it from Reach
+// on first use. Like Reach, lazy initialisation is single-flight and
+// the result is immutable and safe to share across concurrent
+// algorithm calls.
+func (in *Instance) Index() closure.Index {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.rows == nil {
-		in.rows = closure.NewRows(in.reachLocked())
+	if in.idx == nil {
+		in.idx = closure.AutoIndex(in.reachLocked())
 	}
-	return in.rows
+	return in.idx
 }
 
-// SetRows installs precomputed closure rows for G2, mirroring SetReach:
-// the serving catalog materialises each registered graph's rows once
-// and every request-scoped Instance consumes the shared copy, making
-// per-request matcher setup near-free. The rows must derive from the
-// same index SetReach installs (the catalog guarantees this). Call it
-// before the first algorithm invocation.
-func (in *Instance) SetRows(rw *closure.Rows) {
+// SetIndex installs a precomputed reachability index for G2, mirroring
+// SetReach: the serving catalog builds each registered graph's index
+// once (choosing the tier by graph size) and every request-scoped
+// Instance consumes the shared copy, making per-request matcher setup
+// near-free. The index must derive from the same Reach that SetReach
+// installs (the catalog guarantees this). Call it before the first
+// algorithm invocation.
+func (in *Instance) SetIndex(ix closure.Index) {
 	in.mu.Lock()
-	in.rows = rw
+	in.idx = ix
 	in.mu.Unlock()
 }
 
 // cachedIndexes peeks at the lazily built caches without forcing
 // either build — for callers that can proceed (more cheaply) without
 // them.
-func (in *Instance) cachedIndexes() (*closure.Reach, *closure.Rows) {
+func (in *Instance) cachedIndexes() (*closure.Reach, closure.Index) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.reach, in.rows
+	return in.reach, in.idx
 }
 
 // BenchSetup runs the per-request matcher construction path once and
@@ -183,10 +186,10 @@ func (in *Instance) BenchSetup() { in.newMatcher(false) }
 // and cached closure.
 func (in *Instance) Symmetric() *Instance {
 	g1plus := closure.Compute(in.G1).Graph(in.G1)
-	reach, rows := in.cachedIndexes()
+	reach, idx := in.cachedIndexes()
 	return &Instance{
 		G1: g1plus, G2: in.G2, Mat: in.Mat, Xi: in.Xi,
-		MaxPathLen: in.MaxPathLen, reach: reach, rows: rows,
+		MaxPathLen: in.MaxPathLen, reach: reach, idx: idx,
 	}
 }
 

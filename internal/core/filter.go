@@ -31,16 +31,18 @@ type filterStats struct {
 // filterCandidates prunes cands in place and reports the shrinkage.
 func (in *Instance) filterCandidates(cands [][]graph.NodeID, injective bool) filterStats {
 	// Fan-out and fan-in are computed lazily — the counts are only
-	// needed for candidates that survive the cheap checks. When the
-	// shared closure rows are already materialised (a serving request,
-	// or any instance that has run an approximation algorithm), each
-	// count is a word-level population count of the row; the filter
-	// deliberately does NOT force a rows build, because the decision
-	// procedures otherwise never need the O(n₂²) matrices and a
-	// filtered decide on a large graph should not pay for them — the
-	// fallback probes the Reach index per surviving candidate instead.
+	// needed for candidates that survive the cheap checks. When a
+	// shared reachability index is already installed (a serving
+	// request, or any instance that has run an approximation
+	// algorithm), each count is an O(1) Index lookup — a word-level
+	// population count on the dense tier, a precomputed per-component
+	// aggregate on the sparse tier; the filter deliberately does NOT
+	// force an index build, because the decision procedures otherwise
+	// never need one and a filtered decide on a cold instance should
+	// not pay for it — the fallback probes the Reach index per
+	// surviving candidate instead.
 	reach := in.Reach()
-	_, rows := in.cachedIndexes()
+	_, idx := in.cachedIndexes()
 	type fan struct {
 		out, in int
 		done    bool
@@ -49,9 +51,9 @@ func (in *Instance) filterCandidates(cands [][]graph.NodeID, injective bool) fil
 	fanOf := func(u graph.NodeID) (int, int) {
 		f := &fans[u]
 		if !f.done {
-			if rows != nil {
-				f.out = rows.Fwd(u).Count()
-				f.in = rows.Bwd(u).Count()
+			if idx != nil {
+				f.out = idx.FanOut(u)
+				f.in = idx.FanIn(u)
 			} else {
 				f.out = reach.ReachableSet(u).Count()
 				cin := 0

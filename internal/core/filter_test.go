@@ -96,7 +96,7 @@ func TestFilterRowsAndFallbackAgree(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
 		cold := randomInstance(seed, 5, 9)
 		warm := randomInstance(seed, 5, 9)
-		warm.Rows() // force the rows fast path
+		warm.Index() // force the indexed fast path
 		mc, okc := cold.DecideFiltered()
 		mw, okw := warm.DecideFiltered()
 		if okc != okw {

@@ -24,15 +24,17 @@ import (
 // guarantee of Theorem 5.1.
 //
 // The hot path is engineered to be allocation-free in steady state: the
-// closure rows of G2+ are shared immutable state (closure.Rows, injected
-// by the serving catalog or built once per instance), matching lists use
-// dense slice-indexed storage instead of maps, the trim is a single
-// word-level pass producing the kept and displaced candidates together,
-// and lists, candidate bitsets and pair buffers are recycled through
-// per-matcher free lists. TestGreedyMatchAllocationFree pins the
-// zero-allocation property; the equivalence tests pin that the
-// restructuring returns bit-identical mappings to the direct
-// transcription of Figs. 3–4.
+// reachability index of G2+ is shared immutable state (closure.Index,
+// injected by the serving catalog or built once per instance; dense
+// rows on small graphs, candidate-sparse component probes on large
+// ones), matching lists use dense slice-indexed storage instead of
+// maps, the trim is a single Index.Split pass producing the kept and
+// displaced candidates together, and lists, candidate bitsets and pair
+// buffers are recycled through per-matcher free lists.
+// TestGreedyMatchAllocationFree pins the zero-allocation property; the
+// equivalence tests pin that the restructuring returns bit-identical
+// mappings to the direct transcription of Figs. 3–4, and
+// TestTierEquivalence pins that both index tiers agree bit for bit.
 
 // Pair is one candidate match (v, u) handled by the matching list.
 type Pair struct {
@@ -99,10 +101,11 @@ type SearchStats struct {
 }
 
 // matcher carries the per-run state shared by all greedyMatch
-// invocations: the pattern adjacency (H1), the shared closure rows of
-// G2+ in both directions (H2), the injectivity flag, and the free lists
-// that make the recursion allocation-free. A matcher is single-use and
-// single-goroutine; concurrency happens one matcher per call.
+// invocations: the pattern adjacency (H1), the shared reachability
+// index of G2+ (H2, either tier), the injectivity flag, and the free
+// lists that make the recursion allocation-free. A matcher is
+// single-use and single-goroutine; concurrency happens one matcher per
+// call.
 type matcher struct {
 	in        *Instance
 	injective bool
@@ -110,7 +113,7 @@ type matcher struct {
 	pickBest  bool // pick the heaviest candidate u (used by compMaxSim)
 	n1        int
 	n2        int
-	rows      *closure.Rows // shared fwd/bwd closure rows of G2+
+	idx       closure.Index // shared reachability index of G2+
 	prevBits  []*bitset.Set // prevBits[v] over V1
 	postBits  []*bitset.Set // postBits[v] over V1
 	weights   [][]float64   // memoized pairWeight rows, built per v on demand
@@ -126,7 +129,7 @@ type matcher struct {
 
 func (in *Instance) newMatcher(injective bool) *matcher {
 	n1, n2 := in.G1.NumNodes(), in.G2.NumNodes()
-	mx := &matcher{in: in, injective: injective, n1: n1, n2: n2, rows: in.Rows()}
+	mx := &matcher{in: in, injective: injective, n1: n1, n2: n2, idx: in.Index()}
 	mx.prevBits = make([]*bitset.Set, n1)
 	mx.postBits = make([]*bitset.Set, n1)
 	for v := 0; v < n1; v++ {
@@ -287,11 +290,11 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 	}
 
 	// Line 4 (trimMatching) merged with lines 5–9 (partition): for every
-	// other node, intersect its candidates with the closure rows the edge
-	// constraints demand; displaced candidates go to H−. One word-level
-	// sweep (SplitInto) yields the kept and displaced candidates
-	// together.
-	fwd, bwd := mx.rows.Fwd(u), mx.rows.Bwd(u)
+	// other node, trim its candidates against the reachability
+	// constraints the edges demand; displaced candidates go to H−. One
+	// Index.Split pass (a word-level SplitInto on the dense tier, a
+	// per-candidate component probe on the sparse tier) yields the kept
+	// and displaced candidates together.
 	for _, v2 := range h.nodes {
 		if v2 == v {
 			continue
@@ -304,22 +307,11 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 			plus.add(v2, old) // untouched row: share it
 			continue
 		}
-		var maskA, maskB *bitset.Set
-		if isPrev {
-			maskA = bwd
-		}
-		if isPost {
-			if maskA == nil {
-				maskA = fwd
-			} else {
-				maskB = fwd
-			}
-		}
 		trimmed := mx.getSet()
 		moved := mx.getSet()
 		var anyTrimmed, anyMoved bool
-		if maskA != nil {
-			anyTrimmed, anyMoved = old.SplitInto(maskA, maskB, trimmed, moved)
+		if isPrev || isPost {
+			anyTrimmed, anyMoved = mx.idx.Split(old, u, isPrev, isPost, trimmed, moved)
 		} else {
 			// Only the matched image u is displaced (injective trim with
 			// no edge constraint): rows in a list are never empty, so

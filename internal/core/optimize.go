@@ -41,7 +41,7 @@ func (in *Instance) partitionComponents() []struct {
 	orig []graph.NodeID
 } {
 	reach := in.Reach()
-	rows := in.Rows()
+	idx := in.Index()
 	var keep []graph.NodeID
 	for v := 0; v < in.G1.NumNodes(); v++ {
 		vv := graph.NodeID(v)
@@ -69,7 +69,7 @@ func (in *Instance) partitionComponents() []struct {
 			sub  *Instance
 			orig []graph.NodeID
 		}{
-			sub:  &Instance{G1: sub, G2: in.G2, Mat: remapMatrix{base: in.Mat, orig: orig}, Xi: in.Xi, reach: reach, rows: rows},
+			sub:  &Instance{G1: sub, G2: in.G2, Mat: remapMatrix{base: in.Mat, orig: orig}, Xi: in.Xi, reach: reach, idx: idx},
 			orig: orig,
 		})
 	}

@@ -150,6 +150,17 @@ type Options struct {
 	// MaxClosures bounds resident reachability indexes in the catalog;
 	// defaults to catalog.DefaultMaxClosures.
 	MaxClosures int
+	// MaxClosureBytes bounds the catalog's resident closure + index
+	// bytes; LRU entries are evicted past it. 0 means unbounded.
+	MaxClosureBytes int64
+	// ReachTier selects the reachability-index tier the catalog builds
+	// for registered graphs: closure.PolicyAuto (the default — dense
+	// rows while they fit DenseMaxBytes, candidate-sparse beyond),
+	// closure.PolicyDense or closure.PolicySparse.
+	ReachTier closure.TierPolicy
+	// DenseMaxBytes overrides the auto-tier threshold; 0 keeps
+	// closure.DefaultDenseMaxBytes.
+	DenseMaxBytes int
 	// QueueDepth bounds pending tasks before Match blocks; defaults to
 	// 4 × Workers.
 	QueueDepth int
@@ -224,7 +235,10 @@ func New(opts Options) *Engine {
 		depth = 4 * workers
 	}
 	e := &Engine{
-		cat:        catalog.New(opts.MaxClosures),
+		cat: catalog.New(opts.MaxClosures,
+			catalog.WithMaxBytes(opts.MaxClosureBytes),
+			catalog.WithTierPolicy(opts.ReachTier),
+			catalog.WithDenseMaxBytes(opts.DenseMaxBytes)),
 		queue:      make(chan *task, depth),
 		inflight:   make(map[reqKey]*task),
 		workers:    workers,
@@ -245,6 +259,13 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // closure. See catalog.Catalog.Register for ownership rules.
 func (e *Engine) Register(name string, g *graph.Graph) error {
 	return e.cat.Register(name, g)
+}
+
+// Remove drops a registered data graph and every cached closure and
+// index derived from it. In-flight requests against the graph finish
+// against the state they already resolved.
+func (e *Engine) Remove(name string) error {
+	return e.cat.Remove(name)
 }
 
 // Close drains the pool. Pending tasks complete; subsequent Match
@@ -424,12 +445,13 @@ func (e *Engine) execute(req Request) Result {
 	// separate Get + Reach could straddle a Remove/Register of the
 	// same name and mix one graph with another's index. The
 	// approximation algorithms additionally receive the catalog's
-	// materialised closure rows, so their per-request matcher setup
-	// does no row building at all.
+	// tiered reachability index (dense rows or candidate-sparse,
+	// whichever the catalog selected for the graph's size), so their
+	// per-request matcher setup materialises nothing at all.
 	var (
 		g2    *graph.Graph
 		reach *closure.Reach
-		rows  *closure.Rows
+		idx   closure.Index
 		err   error
 	)
 	switch req.Algo {
@@ -438,7 +460,7 @@ func (e *Engine) execute(req Request) Result {
 	case Decide, Decide11:
 		g2, reach, err = e.cat.GetWithReach(req.GraphName, req.PathLimit)
 	default:
-		g2, reach, rows, err = e.cat.GetWithRows(req.GraphName, req.PathLimit)
+		g2, reach, idx, err = e.cat.GetWithIndex(req.GraphName, req.PathLimit)
 	}
 	if err != nil {
 		return Result{Err: err}
@@ -466,8 +488,8 @@ func (e *Engine) execute(req Request) Result {
 	in := core.NewInstance(req.Pattern, g2, mat, req.Xi)
 	in.MaxPathLen = req.PathLimit
 	in.SetReach(reach)
-	if rows != nil {
-		in.SetRows(rows)
+	if idx != nil {
+		in.SetIndex(idx)
 	}
 
 	var (

@@ -1,0 +1,71 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"graphmatch/internal/engine"
+)
+
+// Fuzz the POST /v1/graphs decode path end to end: arbitrary bodies —
+// malformed JSON, edges referencing nodes outside [0, n), negative
+// ids, unknown fields, truncated documents — must come back as clean
+// HTTP statuses, never as a handler panic or a 5xx. The graph decoder
+// (graph.UnmarshalJSON) validates edge endpoints; this pins that the
+// transport surfaces those failures as 400s.
+
+var (
+	fuzzOnce sync.Once
+	fuzzEng  *engine.Engine
+	fuzzMux  http.Handler
+)
+
+// fuzzHandler shares one engine across all fuzz iterations: the target
+// is the decoder, and spinning a worker pool per input would drown the
+// fuzzer in goroutine churn.
+func fuzzHandler() http.Handler {
+	fuzzOnce.Do(func() {
+		fuzzEng = engine.New(engine.Options{Workers: 1})
+		fuzzMux = New(fuzzEng)
+	})
+	return fuzzMux
+}
+
+func FuzzRegisterGraph(f *testing.F) {
+	f.Add([]byte(`{"name":"g","graph":{"nodes":[{"label":"a"},{"label":"b"}],"edges":[[0,1]]}}`))
+	f.Add([]byte(`{"name":"bad","graph":{"nodes":[{"label":"a"}],"edges":[[0,5]]}}`))
+	f.Add([]byte(`{"name":"neg","graph":{"nodes":[{"label":"a"}],"edges":[[-1,0]]}}`))
+	f.Add([]byte(`{"name":"loop","graph":{"nodes":[{"label":"a"}],"edges":[[0,0],[0,0]]}}`))
+	f.Add([]byte(`{"name":"","graph":{"nodes":[],"edges":[]}}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`{"graph":{"nodes":[{"label":"a","weight":1e308}],"edges":[]}}`))
+	f.Add([]byte(`{"name":"u","graph":{"nodes":[{"label":"a"}],"edges":[[0`))
+	f.Add([]byte(`{"name":"dup","extra":true,"graph":{"nodes":[],"edges":[]}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/graphs", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		fuzzHandler().ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusCreated:
+			// Unregister successful inputs so a long fuzz run stays O(1)
+			// in memory (the catalog keeps graphs resident until removed)
+			// — which also drags Remove through the fuzzer's corpus.
+			var ack RegisterResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+				t.Fatalf("undecodable 201 body %q: %v", rec.Body.Bytes(), err)
+			}
+			if err := fuzzEng.Remove(ack.Name); err != nil {
+				t.Fatalf("removing registered graph %q: %v", ack.Name, err)
+			}
+		case http.StatusBadRequest, http.StatusConflict:
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -6,12 +6,13 @@
 //
 // Routes:
 //
-//	POST /v1/graphs       register a data graph {"name": ..., "graph": {...}}
-//	GET  /v1/graphs       list registered graph names
-//	POST /v1/match        one match request
-//	POST /v1/match/batch  {"requests": [...]} dispatched concurrently
-//	GET  /v1/stats        engine + catalog counters
-//	GET  /healthz         liveness
+//	POST   /v1/graphs         register a data graph {"name": ..., "graph": {...}}
+//	GET    /v1/graphs         list registered graph names
+//	DELETE /v1/graphs/{name}  drop a registered graph and its cached indexes
+//	POST   /v1/match          one match request
+//	POST   /v1/match/batch    {"requests": [...]} dispatched concurrently
+//	GET    /v1/stats          engine + catalog counters (incl. index tiers)
+//	GET    /healthz           liveness
 package httpapi
 
 import (
@@ -45,6 +46,12 @@ type RegisterResponse struct {
 	Name  string `json:"name"`
 	Nodes int    `json:"nodes"`
 	Edges int    `json:"edges"`
+}
+
+// RemoveResponse acknowledges a DELETE /v1/graphs/{name}.
+type RemoveResponse struct {
+	Name    string `json:"name"`
+	Removed bool   `json:"removed"`
 }
 
 // MatchRequest is the body of POST /v1/match and the element type of
@@ -108,6 +115,7 @@ func New(e *engine.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.registerGraph)
 	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.removeGraph)
 	mux.HandleFunc("POST /v1/match", s.match)
 	mux.HandleFunc("POST /v1/match/batch", s.matchBatch)
 	mux.HandleFunc("GET /v1/stats", s.stats)
@@ -145,6 +153,19 @@ func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.eng.Catalog().Names()})
+}
+
+func (s *server) removeGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph name"))
+		return
+	}
+	if err := s.eng.Remove(name); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RemoveResponse{Name: name, Removed: true})
 }
 
 func (s *server) match(w http.ResponseWriter, r *http.Request) {

@@ -310,3 +310,83 @@ func TestBadJSON(t *testing.T) {
 		t.Fatalf("empty batch: status %d, want 400", resp2.StatusCode)
 	}
 }
+
+func TestRemoveGraph(t *testing.T) {
+	ts, eng := newTestServer(t)
+	pattern, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	// Unknown name → 404.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/missing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown: status %d, want 404", resp.StatusCode)
+	}
+
+	// Existing name → 200 with an acknowledgement, and the graph is gone.
+	req, err = http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/store", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack RemoveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !ack.Removed || ack.Name != "store" {
+		t.Fatalf("delete: status %d, ack %+v", resp.StatusCode, ack)
+	}
+	if got := eng.Catalog().Len(); got != 0 {
+		t.Fatalf("catalog still holds %d graphs after delete", got)
+	}
+
+	// A match against the removed graph → 404.
+	resp, body := postJSON(t, ts.URL+"/v1/match", MatchRequest{
+		Pattern: pattern, Graph: "store", Algo: "maxcard",
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("match after delete: status %d (%s), want 404", resp.StatusCode, body)
+	}
+
+	// The name is free for re-registration.
+	register(t, ts, "store", data)
+}
+
+func TestStatsReportTier(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, data := storeGraphs()
+	register(t, ts, "store", data)
+	pattern, _ := storeGraphs()
+	if resp, body := postJSON(t, ts.URL+"/v1/match", MatchRequest{
+		Pattern: pattern, Graph: "store", Algo: "maxcard",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: status %d (%s)", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Catalog.TierPolicy != "auto" {
+		t.Fatalf("stats tier policy = %q, want auto", st.Catalog.TierPolicy)
+	}
+	if st.Catalog.ResidentIndexes != 1 || st.Catalog.ResidentDense != 1 {
+		t.Fatalf("stats resident indexes %d (dense %d), want 1/1 after a match on a small graph",
+			st.Catalog.ResidentIndexes, st.Catalog.ResidentDense)
+	}
+}

@@ -1,0 +1,85 @@
+package syngen
+
+import (
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+func TestGenerateLargeShape(t *testing.T) {
+	cfg := LargeConfig{Nodes: 4000, AvgDeg: 4, Labels: 64, CoreFraction: 0.8, Seed: 7}
+	g := GenerateLarge(cfg)
+	if g.NumNodes() != cfg.Nodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), cfg.Nodes)
+	}
+	if g.NumEdges() < cfg.Nodes*cfg.AvgDeg/2 {
+		t.Fatalf("edges = %d, implausibly few for avg degree %d", g.NumEdges(), cfg.AvgDeg)
+	}
+	// The SCC condensation must collapse at least the wired core: k
+	// bounded by the fringe plus one.
+	scc := g.SCC()
+	maxComponents := cfg.Nodes - int(cfg.CoreFraction*float64(cfg.Nodes)) + 1
+	if k := scc.NumComponents(); k > maxComponents {
+		t.Fatalf("condensation has %d components, want ≤ %d (core must form one SCC)", k, maxComponents)
+	}
+	// One component holds at least the core.
+	biggest := 0
+	for _, m := range scc.Members {
+		if len(m) > biggest {
+			biggest = len(m)
+		}
+	}
+	if biggest < int(cfg.CoreFraction*float64(cfg.Nodes)) {
+		t.Fatalf("largest SCC has %d members, want ≥ the %d-node core", biggest, int(cfg.CoreFraction*float64(cfg.Nodes)))
+	}
+}
+
+func TestGenerateLargeDeterministic(t *testing.T) {
+	cfg := LargeConfig{Nodes: 500, Seed: 3}
+	if !graph.Equal(GenerateLarge(cfg), GenerateLarge(cfg)) {
+		t.Fatal("equal configs must generate equal graphs")
+	}
+	other := GenerateLarge(LargeConfig{Nodes: 500, Seed: 4})
+	if graph.Equal(GenerateLarge(cfg), other) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateLargePowerLawTail(t *testing.T) {
+	// Preferential attachment must concentrate in-degree: the top 1% of
+	// nodes should hold several times their uniform share of edges.
+	g := GenerateLarge(LargeConfig{Nodes: 5000, AvgDeg: 5, CoreFraction: 0.5, Seed: 11})
+	indeg := make([]int, g.NumNodes())
+	total := 0
+	g.Edges(func(from, to graph.NodeID) bool {
+		indeg[to]++
+		total++
+		return true
+	})
+	top := 0
+	k := g.NumNodes() / 100
+	for i := 0; i < k; i++ {
+		best, bestAt := -1, -1
+		for v, d := range indeg {
+			if d > best {
+				best, bestAt = d, v
+			}
+		}
+		top += best
+		indeg[bestAt] = -1
+	}
+	if float64(top) < 3*float64(total)/100 {
+		t.Fatalf("top 1%% of nodes hold %d/%d in-edges — no power-law concentration", top, total)
+	}
+}
+
+func TestCarvePattern(t *testing.T) {
+	g := GenerateLarge(LargeConfig{Nodes: 2000, Seed: 5})
+	p := CarvePattern(g, 12, 9)
+	if p.NumNodes() != 12 {
+		t.Fatalf("pattern nodes = %d, want 12", p.NumNodes())
+	}
+	if p.NumEdges() == 0 {
+		t.Fatal("carved pattern has no edges to match against")
+	}
+}
