@@ -12,12 +12,26 @@
 // Algorithms: decide, decide11 (exact, exponential), maxcard, maxcard11,
 // maxsim, maxsim11 (the paper's approximation algorithms), simulation
 // (the graph-simulation baseline).
+//
+// The search verb ranks a catalog of data graphs against one pattern —
+// "which of these graphs does the pattern match best?" — using the
+// shingle-prefiltered top-k pipeline of the serving engine:
+//
+//	phom search -pattern p.json -k 5 site1.json mirrors/site2.json web=site3.json
+//
+// Positional arguments are data-graph files, registered under their
+// base name (or an explicit name=path). -min-resemblance and
+// -max-candidates bound the prefilter; -brute disables it for an
+// exhaustive scan.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"graphmatch"
@@ -25,6 +39,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "search" {
+		runSearch(os.Args[2:])
+		return
+	}
 	patternPath := flag.String("pattern", "", "pattern graph G1 (JSON)")
 	dataPath := flag.String("data", "", "data graph G2 (JSON)")
 	algo := flag.String("algo", "maxcard", "decide | decide11 | maxcard | maxcard11 | maxsim | maxsim11 | simulation")
@@ -105,6 +123,92 @@ func main() {
 			u := sigma[v]
 			fmt.Printf("  %q (#%d) -> %q (#%d)\n", g1.Label(v), v, g2.Label(u), u)
 		}
+	}
+}
+
+// runSearch implements the search verb over an in-process serving
+// engine: register every data graph, then run one catalog-wide top-k
+// search and print the ranking with the prune stats.
+func runSearch(args []string) {
+	fs := flag.NewFlagSet("phom search", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: phom search -pattern p.json [flags] data.json [name=path.json ...]")
+		fs.PrintDefaults()
+	}
+	patternPath := fs.String("pattern", "", "pattern graph G1 (JSON)")
+	algo := fs.String("algo", "maxsim", "maxcard | maxcard11 | maxsim | maxsim11 | decide | decide11 | simulation")
+	xi := fs.Float64("xi", 0.75, "node-similarity threshold ξ")
+	simKind := fs.String("sim", "content", "node similarity: content (shingles) | label (equality)")
+	k := fs.Int("k", 5, "ranked hits to return")
+	pathLimit := fs.Int("pathlimit", 0, "bound pattern-edge images to paths of ≤ k hops (0 = unbounded)")
+	maxCand := fs.Int("max-candidates", 0, "cap prefilter candidates reaching the matcher (0 = unlimited)")
+	minRes := fs.Float64("min-resemblance", 0, "prune graphs whose shingle-containment score is below this (0 = keep all)")
+	brute := fs.Bool("brute", false, "skip the prefilter and match every graph (brute-force scan)")
+	_ = fs.Parse(args)
+
+	if *patternPath == "" || fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	pattern, err := loadGraph(*patternPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := graphmatch.NewEngine(graphmatch.EngineOptions{MaxClosures: fs.NArg() + 8})
+	defer eng.Close()
+	for _, spec := range fs.Args() {
+		name, path, hasName := strings.Cut(spec, "=")
+		if !hasName {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		g, err := loadGraph(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Register(name, g); err != nil {
+			fatal(err)
+		}
+	}
+
+	res := eng.Search(context.Background(), graphmatch.SearchRequest{
+		Pattern:        pattern,
+		Algo:           graphmatch.EngineAlgorithm(*algo),
+		Xi:             *xi,
+		PathLimit:      *pathLimit,
+		Sim:            graphmatch.SimKind(simWire(*simKind)),
+		K:              *k,
+		MaxCandidates:  *maxCand,
+		MinResemblance: *minRes,
+		NoPrefilter:    *brute,
+	})
+	if res.Err != nil {
+		fatal(res.Err)
+	}
+
+	fmt.Printf("rank  %-24s %8s %9s %8s %6s %12s\n",
+		"graph", "score", "qualCard", "qualSim", "holds", "containment")
+	for i, h := range res.Hits {
+		fmt.Printf("%4d  %-24s %8.4f %9.4f %8.4f %6v %12.3f\n",
+			i+1, h.Graph, h.Score, h.QualCard, h.QualSim, h.Holds, h.Containment)
+	}
+	st := res.Stats
+	fmt.Printf("\n%d graphs, %d candidates, %d pruned (%.0f%%), %d matched; stage1 %v, stage2 %v\n",
+		st.Graphs, st.Candidates, st.Pruned, st.PruneRate*100, st.Matched,
+		st.Stage1.Round(time.Microsecond), st.Stage2.Round(time.Microsecond))
+}
+
+// simWire maps the CLI's similarity names onto the engine's wire
+// values (the CLI default "content" predates the engine's "label"
+// default, so the mapping is explicit).
+func simWire(s string) string {
+	switch s {
+	case "content", "label":
+		return s
+	default:
+		fatal(fmt.Errorf("unknown -sim %q", s))
+		return ""
 	}
 }
 

@@ -10,6 +10,8 @@
 //	     -d '{"name": "web", "graph": {"nodes": [...], "edges": [...]}}'
 //	curl -X POST localhost:8080/v1/match \
 //	     -d '{"pattern": {...}, "graph": "web", "algo": "maxcard", "xi": 0.75}'
+//	curl -X POST localhost:8080/v1/search \
+//	     -d '{"pattern": {...}, "algo": "maxsim", "xi": 0.75, "sim": "content", "k": 5}'
 //	curl localhost:8080/v1/stats
 //
 // Every registered graph's transitive closure is computed once and
@@ -57,6 +59,8 @@ func main() {
 	reachTier := flag.String("reach-tier", "auto", "reachability index tier: auto (by graph size) | dense | sparse")
 	queueDepth := flag.Int("queue", 0, "pending-request queue depth (0 = 4×workers)")
 	maxExact := flag.Int("max-exact-nodes", 16, "largest pattern accepted for the exponential decide/decide11 algorithms (0 = unlimited)")
+	searchMaxCand := flag.Int("search-max-candidates", 0, "default cap on /v1/search candidates reaching the matcher (0 = unlimited)")
+	searchMinRes := flag.Float64("search-min-resemblance", 0, "default /v1/search prune threshold on the shingle-containment prefilter score (0 = keep all graphs)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
@@ -68,12 +72,14 @@ func main() {
 	}
 
 	eng := engine.New(engine.Options{
-		Workers:         *workers,
-		MaxClosures:     *maxClosures,
-		MaxClosureBytes: *maxClosureBytes,
-		ReachTier:       tier,
-		QueueDepth:      *queueDepth,
-		ExactNodeLimit:  *maxExact,
+		Workers:              *workers,
+		MaxClosures:          *maxClosures,
+		MaxClosureBytes:      *maxClosureBytes,
+		ReachTier:            tier,
+		QueueDepth:           *queueDepth,
+		ExactNodeLimit:       *maxExact,
+		SearchMaxCandidates:  *searchMaxCand,
+		SearchMinResemblance: *searchMinRes,
 	})
 	defer eng.Close()
 

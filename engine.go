@@ -28,6 +28,19 @@ type (
 	EngineAlgorithm = engine.Algorithm
 	// SimKind selects how a request derives its similarity matrix.
 	SimKind = engine.SimKind
+	// SearchRequest asks the engine which registered graphs match a
+	// pattern best: the catalog-wide top-k ranking of Engine.Search.
+	// A shingle/structural prefilter prunes the catalog before the
+	// matcher runs (see MaxCandidates / MinResemblance knobs).
+	SearchRequest = engine.SearchRequest
+	// SearchResult carries the ranked hits plus per-stage stats
+	// (candidates considered, prune rate, stage timings).
+	SearchResult = engine.SearchResult
+	// SearchHit is one ranked search result: a graph name with its
+	// match quality and prefilter scores.
+	SearchHit = engine.SearchHit
+	// SearchStats reports the work one search did, stage by stage.
+	SearchStats = engine.SearchStats
 )
 
 // Engine algorithm names.

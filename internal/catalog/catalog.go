@@ -170,6 +170,14 @@ type graphEntry struct {
 	contentSets []shingle.Set
 }
 
+// MutationHook observes registry mutations: it is invoked once per
+// successful Register (removed = false) and once per Remove
+// (removed = true, g is the graph that was registered). Hooks run
+// synchronously under the catalog lock so observers see mutations in
+// their true order; they must return quickly and must not call back
+// into the catalog.
+type MutationHook func(name string, g *graph.Graph, removed bool)
+
 // Catalog is a concurrency-safe registry of named data graphs with a
 // bounded, shared closure cache. The zero value is not usable; create
 // catalogs with New.
@@ -180,6 +188,8 @@ type Catalog struct {
 	lru      *list.List // front = most recently used; values are *entry
 	capacity int
 	maxBytes int64 // 0 = unbounded
+
+	onMutate MutationHook
 
 	tierPolicy    closure.TierPolicy
 	denseMaxBytes int
@@ -236,19 +246,50 @@ func (c *Catalog) Register(name string, g *graph.Graph) error {
 		return fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	c.graphs[name] = &graphEntry{g: g}
+	if c.onMutate != nil {
+		c.onMutate(name, g, false)
+	}
 	c.mu.Unlock()
 	_, err := c.Reach(name, 0)
 	return err
+}
+
+// SetMutationHook installs fn as the catalog's mutation observer (one
+// hook at most; a later call replaces the previous hook, nil removes
+// it). Installation replays every currently registered graph through fn
+// in sorted-name order, so a late-attaching observer — the search
+// index — starts coherent with the registry and never misses a graph:
+// the replay and all future mutations are serialised under the same
+// lock. See MutationHook for the constraints fn must obey.
+func (c *Catalog) SetMutationHook(fn MutationHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMutate = fn
+	if fn == nil {
+		return
+	}
+	names := make([]string, 0, len(c.graphs))
+	for n := range c.graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, c.graphs[n].g, false)
+	}
 }
 
 // Remove drops a graph and every cached closure derived from it.
 func (c *Catalog) Remove(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.graphs[name]; !ok {
+	ge, ok := c.graphs[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(c.graphs, name)
+	if c.onMutate != nil {
+		c.onMutate(name, ge.g, true)
+	}
 	for k, e := range c.closures {
 		if k.name == name {
 			c.lru.Remove(e.elem)
@@ -303,6 +344,56 @@ func (c *Catalog) ContentSets(name string) (*graph.Graph, []shingle.Set, error) 
 		e.contentSets = simmatrix.ContentSets(e.g, 0)
 	})
 	return e.g, e.contentSets, nil
+}
+
+// GraphInfo is a point-in-time description of one registered graph and
+// the reachability state the catalog holds for it, as served by the
+// GET /v1/graphs/{name} detail endpoint.
+type GraphInfo struct {
+	// Name is the registered name.
+	Name string `json:"name"`
+	// Nodes and Edges describe the graph itself.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// ResidentClosures counts cached closure entries derived from this
+	// graph (one per requested path limit).
+	ResidentClosures int `json:"resident_closures"`
+	// ClosureBytes sums the resident closure bytes across those entries.
+	ClosureBytes int64 `json:"closure_bytes"`
+	// IndexTier is the tier of the full (path-limit 0) closure's
+	// matcher-facing index, empty while none is built.
+	IndexTier string `json:"index_tier,omitempty"`
+	// IndexBytes sums the resident index bytes across the entries.
+	IndexBytes int64 `json:"index_bytes"`
+}
+
+// Describe reports the catalog's view of one registered graph: its
+// size plus how much reachability state is currently resident for it
+// and in which tier.
+func (c *Catalog) Describe(name string) (GraphInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ge, ok := c.graphs[name]
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	info := GraphInfo{
+		Name:  name,
+		Nodes: ge.g.NumNodes(),
+		Edges: ge.g.NumEdges(),
+	}
+	for k, e := range c.closures {
+		if k.name != name {
+			continue
+		}
+		info.ResidentClosures++
+		info.ClosureBytes += e.bytes
+		info.IndexBytes += e.idxBytes
+		if k.pathLimit == 0 && e.idxCounted {
+			info.IndexTier = string(e.idxTier)
+		}
+	}
+	return info, nil
 }
 
 // Names lists the registered graphs in sorted order.

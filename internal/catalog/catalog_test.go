@@ -493,3 +493,107 @@ func TestByteBudgetEvictsPastKeptEntry(t *testing.T) {
 		t.Fatalf("evictor kept a=%v b=%v, want the non-kept entry evicted", aAlive, bAlive)
 	}
 }
+
+// TestNamesSorted is the determinism regression for the graph listing:
+// names come back sorted no matter the registration order, so /v1/graphs
+// and the search subsystem see a stable enumeration.
+func TestNamesSorted(t *testing.T) {
+	c := New(8)
+	for _, name := range []string{"zeta", "alpha", "mid", "beta", "omega"} {
+		if err := c.Register(name, chain(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "beta", "mid", "omega", "zeta"}
+	for i := 0; i < 5; i++ { // map iteration would betray itself across calls
+		got := c.Names()
+		if len(got) != len(want) {
+			t.Fatalf("Names = %v", got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Names = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestMutationHook pins the hook contract: replay on install, one
+// event per Register/Remove, in order.
+func TestMutationHook(t *testing.T) {
+	type event struct {
+		name    string
+		removed bool
+	}
+	c := New(4)
+	if err := c.Register("pre", chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu     sync.Mutex
+		events []event
+	)
+	c.SetMutationHook(func(name string, g *graph.Graph, removed bool) {
+		if g == nil {
+			t.Errorf("hook for %q got nil graph", name)
+		}
+		mu.Lock()
+		events = append(events, event{name, removed})
+		mu.Unlock()
+	})
+	if err := c.Register("a", chain(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("pre"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove missing: %v", err)
+	}
+	want := []event{{"pre", false}, {"a", false}, {"pre", true}}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestDescribe checks the detail view: graph size plus resident
+// closure/index accounting, and ErrNotFound for unknown names.
+func TestDescribe(t *testing.T) {
+	c := New(4)
+	if err := c.Register("g", chain(6)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Describe("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "g" || info.Nodes != 6 || info.Edges != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.ResidentClosures != 1 || info.ClosureBytes <= 0 {
+		t.Fatalf("closure accounting: %+v", info)
+	}
+	if info.IndexTier != "" {
+		t.Fatalf("index tier %q before any index build", info.IndexTier)
+	}
+	if _, _, _, err := c.GetWithIndex("g", 0); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.Describe("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IndexTier != string(closure.TierDense) {
+		t.Fatalf("index tier = %q after index build, want dense", info.IndexTier)
+	}
+	if _, err := c.Describe("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("describe missing: %v", err)
+	}
+}

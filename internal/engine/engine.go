@@ -34,6 +34,7 @@ import (
 	"graphmatch/internal/closure"
 	"graphmatch/internal/core"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/search"
 	"graphmatch/internal/simmatrix"
 	"graphmatch/internal/simulation"
 )
@@ -135,6 +136,8 @@ type Stats struct {
 	Errors uint64 `json:"errors"`
 	// Batches counts MatchBatch calls.
 	Batches uint64 `json:"batches"`
+	// Searches counts Search calls (catalog-wide top-k rankings).
+	Searches uint64 `json:"searches"`
 	// Workers is the pool size.
 	Workers int `json:"workers"`
 }
@@ -170,6 +173,16 @@ type Options struct {
 	// pin a worker indefinitely. 0 means unlimited (library default);
 	// servers exposed to untrusted clients should set it (phomd does).
 	ExactNodeLimit int
+	// SearchMaxCandidates is the default stage-1 candidate cap for
+	// Search requests that leave MaxCandidates at 0. Non-positive
+	// means unlimited.
+	SearchMaxCandidates int
+	// SearchMinResemblance is the default stage-1 prune threshold for
+	// Search requests that leave MinResemblance at 0. Non-positive
+	// keeps every graph (the prefilter then only orders candidates,
+	// never drops them, so search is exactly equivalent to a
+	// brute-force scan).
+	SearchMinResemblance float64
 }
 
 // reqKey identifies a computation for coalescing. The pattern is
@@ -202,6 +215,13 @@ type Engine struct {
 
 	exactLimit int
 
+	// searchIdx is the stage-1 candidate index of the search subsystem;
+	// it observes catalog mutations through the mutation hook, so it is
+	// coherent with Register/Remove by construction.
+	searchIdx        *search.Index
+	searchMaxCand    int
+	searchMinResembl float64
+
 	mu       sync.Mutex
 	inflight map[reqKey]*task
 
@@ -221,6 +241,7 @@ type Engine struct {
 	coalesced atomic.Uint64
 	errors    atomic.Uint64
 	batches   atomic.Uint64
+	searches  atomic.Uint64
 	workers   int
 }
 
@@ -239,11 +260,14 @@ func New(opts Options) *Engine {
 			catalog.WithMaxBytes(opts.MaxClosureBytes),
 			catalog.WithTierPolicy(opts.ReachTier),
 			catalog.WithDenseMaxBytes(opts.DenseMaxBytes)),
-		queue:      make(chan *task, depth),
-		inflight:   make(map[reqKey]*task),
-		workers:    workers,
-		exactLimit: opts.ExactNodeLimit,
+		queue:            make(chan *task, depth),
+		inflight:         make(map[reqKey]*task),
+		workers:          workers,
+		exactLimit:       opts.ExactNodeLimit,
+		searchMaxCand:    opts.SearchMaxCandidates,
+		searchMinResembl: opts.SearchMinResemblance,
 	}
+	e.searchIdx = search.NewIndex(e.cat)
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
@@ -290,6 +314,7 @@ func (e *Engine) Stats() Stats {
 		Coalesced: e.coalesced.Load(),
 		Errors:    e.errors.Load(),
 		Batches:   e.batches.Load(),
+		Searches:  e.searches.Load(),
 		Workers:   e.workers,
 	}
 }

@@ -7,10 +7,12 @@
 // Routes:
 //
 //	POST   /v1/graphs         register a data graph {"name": ..., "graph": {...}}
-//	GET    /v1/graphs         list registered graph names
+//	GET    /v1/graphs         list registered graph names (sorted)
+//	GET    /v1/graphs/{name}  describe one graph (size, resident closure tier/bytes)
 //	DELETE /v1/graphs/{name}  drop a registered graph and its cached indexes
 //	POST   /v1/match          one match request
 //	POST   /v1/match/batch    {"requests": [...]} dispatched concurrently
+//	POST   /v1/search         rank the catalog against a pattern (top-k)
 //	GET    /v1/stats          engine + catalog counters (incl. index tiers)
 //	GET    /healthz           liveness
 package httpapi
@@ -92,6 +94,67 @@ type BatchResponse struct {
 	Results []MatchResponse `json:"results"`
 }
 
+// GraphDetailResponse is the body of GET /v1/graphs/{name}: the
+// catalog's view of one registered graph plus its degree statistics.
+type GraphDetailResponse struct {
+	catalog.GraphInfo
+	AvgDeg float64 `json:"avg_deg"`
+	MaxDeg int     `json:"max_deg"`
+}
+
+// SearchRequest is the body of POST /v1/search. Xi and MinResemblance
+// are pointers so "absent" and "explicit 0" are distinguishable:
+// absent xi means DefaultXi; absent min_resemblance means the server's
+// configured default, explicit 0 disables pruning (exact search).
+// MaxCandidates: 0 or absent applies the server default, -1 lifts the
+// cap. K ≤ 0 applies the engine default top-k size.
+type SearchRequest struct {
+	Pattern        *graph.Graph `json:"pattern"`
+	Algo           string       `json:"algo,omitempty"`
+	Xi             *float64     `json:"xi,omitempty"`
+	PathLimit      int          `json:"path_limit,omitempty"`
+	Sim            string       `json:"sim,omitempty"`
+	K              int          `json:"k,omitempty"`
+	MaxCandidates  int          `json:"max_candidates,omitempty"`
+	MinResemblance *float64     `json:"min_resemblance,omitempty"`
+	NoPrefilter    bool         `json:"no_prefilter,omitempty"`
+}
+
+// SearchHitResponse is one ranked hit of a search.
+type SearchHitResponse struct {
+	Rank        int     `json:"rank"`
+	Graph       string  `json:"graph"`
+	Score       float64 `json:"score"`
+	Holds       bool    `json:"holds"`
+	Matched     int     `json:"matched"`
+	QualCard    float64 `json:"qual_card"`
+	QualSim     float64 `json:"qual_sim"`
+	Containment float64 `json:"containment"`
+	StructSim   float64 `json:"struct_sim"`
+}
+
+// SearchStatsResponse reports the per-stage search work: how much of
+// the catalog the prefilter skipped and what each stage cost.
+type SearchStatsResponse struct {
+	Graphs     int     `json:"graphs"`
+	Candidates int     `json:"candidates"`
+	Pruned     int     `json:"pruned"`
+	Matched    int     `json:"matched"`
+	Missing    int     `json:"missing,omitempty"`
+	PruneRate  float64 `json:"prune_rate"`
+	Stage1US   int64   `json:"stage1_us"`
+	Stage2US   int64   `json:"stage2_us"`
+}
+
+// SearchResponse is the body of a successful POST /v1/search.
+type SearchResponse struct {
+	Algo         string              `json:"algo"`
+	K            int                 `json:"k"`
+	PatternNodes int                 `json:"pattern_nodes"`
+	Hits         []SearchHitResponse `json:"hits"`
+	Stats        SearchStatsResponse `json:"stats"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Engine  engine.Stats `json:"engine"`
@@ -115,9 +178,11 @@ func New(e *engine.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.registerGraph)
 	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.describeGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.removeGraph)
 	mux.HandleFunc("POST /v1/match", s.match)
 	mux.HandleFunc("POST /v1/match/batch", s.matchBatch)
+	mux.HandleFunc("POST /v1/search", s.search)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
@@ -153,6 +218,22 @@ func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.eng.Catalog().Names()})
+}
+
+func (s *server) describeGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.eng.Catalog().Describe(name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	out := GraphDetailResponse{GraphInfo: info}
+	if g, err := s.eng.Catalog().Get(name); err == nil {
+		st := graph.ComputeStats(g)
+		out.AvgDeg = st.AvgDeg
+		out.MaxDeg = st.MaxDeg
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) removeGraph(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +302,57 @@ func (s *server) matchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+func (s *server) search(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ereq, err := req.toEngine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.eng.Search(r.Context(), ereq)
+	if res.Err != nil {
+		writeError(w, statusFor(res.Err), res.Err)
+		return
+	}
+	k := ereq.K
+	if k <= 0 {
+		k = engine.DefaultSearchK
+	}
+	out := SearchResponse{
+		Algo:         string(ereq.Algo),
+		K:            k,
+		PatternNodes: req.Pattern.NumNodes(),
+		Hits:         make([]SearchHitResponse, 0, len(res.Hits)),
+		Stats: SearchStatsResponse{
+			Graphs:     res.Stats.Graphs,
+			Candidates: res.Stats.Candidates,
+			Pruned:     res.Stats.Pruned,
+			Matched:    res.Stats.Matched,
+			Missing:    res.Stats.Missing,
+			PruneRate:  res.Stats.PruneRate,
+			Stage1US:   res.Stats.Stage1.Microseconds(),
+			Stage2US:   res.Stats.Stage2.Microseconds(),
+		},
+	}
+	for i, h := range res.Hits {
+		out.Hits = append(out.Hits, SearchHitResponse{
+			Rank:        i + 1,
+			Graph:       h.Graph,
+			Score:       h.Score,
+			Holds:       h.Holds,
+			Matched:     h.Matched,
+			QualCard:    h.QualCard,
+			QualSim:     h.QualSim,
+			Containment: h.Containment,
+			StructSim:   h.StructSim,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.Catalog().Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -266,6 +398,65 @@ func (mr MatchRequest) toEngine() (engine.Request, error) {
 		Xi:        xi,
 		PathLimit: mr.PathLimit,
 		Sim:       engine.SimKind(mr.Sim),
+	}, nil
+}
+
+// toEngine validates the wire search request and converts it. The
+// engine's "0 means server default" convention is mapped here: an
+// explicit wire 0 for min_resemblance becomes the engine's "no
+// pruning" (-1), and max_candidates -1 becomes the engine's unlimited.
+func (sr SearchRequest) toEngine() (engine.SearchRequest, error) {
+	if sr.Pattern == nil {
+		return engine.SearchRequest{}, fmt.Errorf("missing pattern")
+	}
+	algo := sr.Algo
+	if algo == "" {
+		algo = string(engine.MaxSim)
+	}
+	parsed, err := engine.ParseAlgorithm(algo)
+	if err != nil {
+		return engine.SearchRequest{}, err
+	}
+	xi := DefaultXi
+	if sr.Xi != nil {
+		xi = *sr.Xi
+	}
+	if xi < 0 || xi > 1 {
+		return engine.SearchRequest{}, fmt.Errorf("xi %v outside [0, 1]", xi)
+	}
+	switch engine.SimKind(sr.Sim) {
+	case "", engine.SimLabel, engine.SimContent:
+	default:
+		return engine.SearchRequest{}, fmt.Errorf("unknown similarity kind %q", sr.Sim)
+	}
+	k := sr.K
+	if k < 0 {
+		return engine.SearchRequest{}, fmt.Errorf("k %d negative", k)
+	}
+	maxCand := sr.MaxCandidates
+	if maxCand < -1 {
+		return engine.SearchRequest{}, fmt.Errorf("max_candidates %d invalid (want -1, 0 or a positive cap)", maxCand)
+	}
+	minRes := 0.0
+	if sr.MinResemblance != nil {
+		minRes = *sr.MinResemblance
+		if minRes < 0 || minRes > 1 {
+			return engine.SearchRequest{}, fmt.Errorf("min_resemblance %v outside [0, 1]", minRes)
+		}
+		if minRes == 0 {
+			minRes = -1 // explicit 0: disable pruning rather than "use default"
+		}
+	}
+	return engine.SearchRequest{
+		Pattern:        sr.Pattern,
+		Algo:           parsed,
+		Xi:             xi,
+		PathLimit:      sr.PathLimit,
+		Sim:            engine.SimKind(sr.Sim),
+		K:              k,
+		MaxCandidates:  maxCand,
+		MinResemblance: minRes,
+		NoPrefilter:    sr.NoPrefilter,
 	}, nil
 }
 

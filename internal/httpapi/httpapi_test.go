@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -388,5 +389,279 @@ func TestStatsReportTier(t *testing.T) {
 	if st.Catalog.ResidentIndexes != 1 || st.Catalog.ResidentDense != 1 {
 		t.Fatalf("stats resident indexes %d (dense %d), want 1/1 after a match on a small graph",
 			st.Catalog.ResidentIndexes, st.Catalog.ResidentDense)
+	}
+}
+
+// TestListGraphsSorted is the listing-determinism regression: names
+// come back sorted regardless of registration order.
+func TestListGraphsSorted(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, data := storeGraphs()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		register(t, ts, name, data)
+	}
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	got := list["graphs"]
+	if len(got) != len(want) {
+		t.Fatalf("graphs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("graphs = %v, want %v (sorted)", got, want)
+		}
+	}
+}
+
+// TestGraphDetail exercises GET /v1/graphs/{name}: size, degree stats
+// and resident-closure accounting for a registered graph, 404 for an
+// unknown one.
+func TestGraphDetail(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	resp, err := http.Get(ts.URL + "/v1/graphs/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status %d", resp.StatusCode)
+	}
+	var detail GraphDetailResponse
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Name != "store" || detail.Nodes != data.NumNodes() || detail.Edges != data.NumEdges() {
+		t.Fatalf("detail = %+v", detail)
+	}
+	if detail.ResidentClosures != 1 || detail.ClosureBytes <= 0 {
+		t.Fatalf("closure accounting: %+v", detail)
+	}
+	if detail.MaxDeg <= 0 || detail.AvgDeg <= 0 {
+		t.Fatalf("degree stats: %+v", detail)
+	}
+
+	missing, err := http.Get(ts.URL + "/v1/graphs/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing detail status %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestSearchEndpoint drives POST /v1/search over a small catalog: the
+// self-graph ranks first, ranks are 1-based and deterministic, and the
+// stats report the catalog size.
+func TestSearchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	pattern, data := storeGraphs()
+	register(t, ts, "store", data)
+	// A second graph with none of the pattern's labels ranks below.
+	other := graph.FromEdgeList([]string{"x", "y", "z"}, [][2]int{{0, 1}, {1, 2}})
+	register(t, ts, "other", other)
+
+	resp, body := postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pattern: pattern, Algo: "maxcard", K: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d, body %s", resp.StatusCode, body)
+	}
+	var out SearchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algo != "maxcard" || out.K != 2 || out.PatternNodes != pattern.NumNodes() {
+		t.Fatalf("response header: %+v", out)
+	}
+	if len(out.Hits) != 2 || out.Hits[0].Graph != "store" || out.Hits[0].Rank != 1 {
+		t.Fatalf("hits = %+v", out.Hits)
+	}
+	if out.Hits[0].QualCard <= out.Hits[1].QualCard || out.Hits[0].Score != out.Hits[0].QualCard {
+		t.Fatalf("ranking metric: %+v", out.Hits)
+	}
+	if out.Stats.Graphs != 2 || out.Stats.Matched != 2 {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+
+	// Re-running returns the identical ranking.
+	_, body2 := postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pattern: pattern, Algo: "maxcard", K: 2,
+	})
+	var out2 SearchResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Hits) != len(out.Hits) || out2.Hits[0].Graph != out.Hits[0].Graph || out2.Hits[1].Graph != out.Hits[1].Graph {
+		t.Fatalf("ranking changed across runs: %+v then %+v", out.Hits, out2.Hits)
+	}
+
+	// min_resemblance prunes the unrelated graph; explicit 0 keeps it.
+	thr := 0.5
+	_, body3 := postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pattern: pattern, Algo: "maxcard", K: 2, MinResemblance: &thr,
+	})
+	var out3 SearchResponse
+	if err := json.Unmarshal(body3, &out3); err != nil {
+		t.Fatal(err)
+	}
+	if out3.Stats.Pruned != 1 || len(out3.Hits) != 1 || out3.Hits[0].Graph != "store" {
+		t.Fatalf("pruned search: hits %+v stats %+v", out3.Hits, out3.Stats)
+	}
+	zero := 0.0
+	_, body4 := postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pattern: pattern, Algo: "maxcard", K: 2, MinResemblance: &zero,
+	})
+	var out4 SearchResponse
+	if err := json.Unmarshal(body4, &out4); err != nil {
+		t.Fatal(err)
+	}
+	if out4.Stats.Pruned != 0 || len(out4.Hits) != 2 {
+		t.Fatalf("explicit-zero search: hits %+v stats %+v", out4.Hits, out4.Stats)
+	}
+
+	// Brute force matches everything and agrees on the winner.
+	_, body5 := postJSON(t, ts.URL+"/v1/search", SearchRequest{
+		Pattern: pattern, Algo: "maxcard", K: 2, NoPrefilter: true,
+	})
+	var out5 SearchResponse
+	if err := json.Unmarshal(body5, &out5); err != nil {
+		t.Fatal(err)
+	}
+	if out5.Stats.Matched != 2 || out5.Hits[0].Graph != "store" {
+		t.Fatalf("brute search: %+v", out5)
+	}
+}
+
+// TestSearchEndpointValidation pins the 400s.
+func TestSearchEndpointValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	pattern, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	for name, req := range map[string]SearchRequest{
+		"missing pattern": {},
+		"bad algo":        {Pattern: pattern, Algo: "bogus"},
+		"bad sim":         {Pattern: pattern, Sim: "bogus"},
+		"negative k":      {Pattern: pattern, K: -1},
+		"bad cap":         {Pattern: pattern, MaxCandidates: -2},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/search", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", name, resp.StatusCode, body)
+		}
+	}
+	bad := 1.5
+	resp, _ := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: pattern, MinResemblance: &bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("min_resemblance 1.5: status %d", resp.StatusCode)
+	}
+	badXi := -0.5
+	resp, _ = postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: pattern, Xi: &badXi})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("xi -0.5: status %d", resp.StatusCode)
+	}
+}
+
+// TestSearchLargeCatalogDeterministic is the acceptance check for the
+// search endpoint: over a ≥100-graph catalog, POST /v1/search returns
+// the same top-k, in the same order, on every run, and the pruning
+// prefilter skips most of the catalog without changing the ranking.
+func TestSearchLargeCatalogDeterministic(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// 120 chain graphs in 12 content families of 10 members each;
+	// members of a family share most of their text, so a query built
+	// from one family ranks its members and prunes the rest.
+	const families, members = 12, 10
+	var queryPattern *graph.Graph
+	for f := 0; f < families; f++ {
+		for m := 0; m < members; m++ {
+			g := graph.New(6)
+			for v := 0; v < 6; v++ {
+				// Family-specific vocabulary: every 4-word shingle
+				// contains family words, so cross-family containment is
+				// 0 and the prefilter can separate the families.
+				var content bytes.Buffer
+				for w := 0; w < 10; w++ {
+					fmt.Fprintf(&content, "family%dnode%dword%d ", f, v, w)
+				}
+				fmt.Fprintf(&content, "family%dvariant%d", f, m%3)
+				g.AddNodeFull(graph.Node{
+					Label:   fmt.Sprintf("n%d", v),
+					Weight:  1,
+					Content: content.String(),
+				})
+				if v > 0 {
+					g.AddEdge(graph.NodeID(v-1), graph.NodeID(v))
+				}
+			}
+			g.Finish()
+			register(t, ts, fmt.Sprintf("f%02d-m%02d", f, m), g)
+			if f == 3 && m == 0 {
+				queryPattern = g.Clone()
+			}
+		}
+	}
+
+	run := func(req SearchRequest) SearchResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/search", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search status %d, body %s", resp.StatusCode, body)
+		}
+		var out SearchResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	names := func(out SearchResponse) []string {
+		ns := make([]string, len(out.Hits))
+		for i, h := range out.Hits {
+			ns[i] = h.Graph
+		}
+		return ns
+	}
+
+	thr := 0.5
+	pruned := SearchRequest{Pattern: queryPattern, Algo: "maxsim", Sim: "content", K: 8, MinResemblance: &thr}
+	first := run(pruned)
+	if first.Stats.Graphs != families*members {
+		t.Fatalf("catalog size %d, want %d", first.Stats.Graphs, families*members)
+	}
+	if len(first.Hits) != 8 || first.Hits[0].Graph != "f03-m00" {
+		t.Fatalf("hits = %v", names(first))
+	}
+	for _, h := range first.Hits {
+		if h.Graph[:3] != "f03" {
+			t.Fatalf("foreign family in top-k: %v", names(first))
+		}
+	}
+	if first.Stats.Pruned < families*members/2 {
+		t.Fatalf("prefilter pruned only %d of %d", first.Stats.Pruned, families*members)
+	}
+	for i := 0; i < 3; i++ {
+		if got := names(run(pruned)); !reflect.DeepEqual(got, names(first)) {
+			t.Fatalf("run %d: ranking %v != %v", i, got, names(first))
+		}
+	}
+	// The brute-force scan agrees on the same top-k.
+	brute := run(SearchRequest{Pattern: queryPattern, Algo: "maxsim", Sim: "content", K: 8, NoPrefilter: true})
+	if brute.Stats.Matched != families*members {
+		t.Fatalf("brute matched %d", brute.Stats.Matched)
+	}
+	if !reflect.DeepEqual(names(brute), names(first)) {
+		t.Fatalf("brute %v != prefiltered %v", names(brute), names(first))
 	}
 }

@@ -1,0 +1,204 @@
+package search
+
+import (
+	"sort"
+	"sync"
+
+	"graphmatch/internal/catalog"
+	"graphmatch/internal/graph"
+)
+
+// rec is the index's record of one registered graph. The summary is
+// built lazily (once, outside the index lock — summarising shingles a
+// whole graph, which must not stall registration or concurrent
+// searches) and its hashes are committed into the postings under the
+// lock afterwards.
+type rec struct {
+	name string
+	g    *graph.Graph
+
+	once sync.Once
+	sum  Summary
+
+	// indexed records that sum.Hashes live in the postings map; it is
+	// guarded by Index.mu, and set only after once has completed, so a
+	// remover reading sum under the lock observes a fully built summary.
+	indexed bool
+}
+
+// Index is the stage-1 candidate index over a catalog's registered
+// graphs: an inverted index from content shingle hashes to graphs,
+// plus per-graph structural signatures. It is safe for concurrent use
+// and stays coherent with the catalog through the mutation hook
+// NewIndex installs — Register and Remove reach the index
+// synchronously, in mutation order.
+type Index struct {
+	mu       sync.Mutex
+	recs     map[string]*rec
+	postings map[uint64][]*rec
+}
+
+// NewIndex builds an index over cat and keeps it coherent by
+// installing the catalog's mutation hook (replacing any previous hook;
+// the catalog supports one observer, and the serving engine creates
+// exactly one index per catalog). Graphs already registered are
+// replayed into the index during installation, so attaching to a
+// populated catalog is equivalent to having observed every Register.
+func NewIndex(cat *catalog.Catalog) *Index {
+	ix := &Index{
+		recs:     make(map[string]*rec),
+		postings: make(map[uint64][]*rec),
+	}
+	cat.SetMutationHook(ix.onMutate)
+	return ix
+}
+
+// onMutate is the catalog hook. It runs under the catalog lock, so it
+// only does map bookkeeping — the expensive summary build is deferred
+// to the next search.
+func (ix *Index) onMutate(name string, g *graph.Graph, removed bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old := ix.recs[name]
+	if removed {
+		if old != nil {
+			ix.dropLocked(old)
+		}
+		return
+	}
+	if old != nil {
+		if old.g == g {
+			return // idempotent replay of a graph already indexed
+		}
+		ix.dropLocked(old)
+	}
+	ix.recs[name] = &rec{name: name, g: g}
+}
+
+// dropLocked removes r from the record map and, when its hashes were
+// committed, from every posting list. Callers hold ix.mu.
+func (ix *Index) dropLocked(r *rec) {
+	if ix.recs[r.name] == r {
+		delete(ix.recs, r.name)
+	}
+	if !r.indexed {
+		return
+	}
+	r.indexed = false
+	for _, h := range r.sum.Hashes {
+		list := ix.postings[h]
+		for i, other := range list {
+			if other == r {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(ix.postings, h)
+		} else {
+			ix.postings[h] = list
+		}
+	}
+}
+
+// Len reports the number of graphs currently indexed.
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.recs)
+}
+
+// Candidates scores the query summary against every indexed graph and
+// returns the survivors of pol, ordered deterministically: by score
+// descending, ties by name ascending (name order alone under
+// Policy.Brute). The search operates on a snapshot of the registry —
+// graphs registered while a search is scoring are picked up by the
+// next search; graphs removed concurrently are skipped.
+func (ix *Index) Candidates(pattern Summary, pol Policy) ([]Candidate, Stats) {
+	// Snapshot the records, then build missing summaries outside the
+	// lock: Summarize is pure, and rec.once makes concurrent searches
+	// cooperate instead of duplicating work.
+	ix.mu.Lock()
+	snapshot := make([]*rec, 0, len(ix.recs))
+	for _, r := range ix.recs {
+		snapshot = append(snapshot, r)
+	}
+	ix.mu.Unlock()
+	for _, r := range snapshot {
+		r.once.Do(func() { r.sum = Summarize(r.g) })
+		// Commit this record's postings under its own short lock hold —
+		// unless it was removed while building, in which case its hashes
+		// must stay out (the remover already ran and saw indexed ==
+		// false). Per-record commits matter because the catalog's
+		// mutation hook runs under the catalog lock and takes ix.mu: a
+		// whole-catalog commit under one hold would stall every catalog
+		// operation, match traffic included, behind the first search.
+		ix.mu.Lock()
+		if ix.recs[r.name] == r && !r.indexed {
+			for _, h := range r.sum.Hashes {
+				ix.postings[h] = append(ix.postings[h], r)
+			}
+			r.indexed = true
+		}
+		ix.mu.Unlock()
+	}
+
+	// Gather overlaps and re-validate the snapshot under one more short
+	// hold; the per-candidate scoring below runs outside the lock (it
+	// reads only immutable summaries). A record removed after this point
+	// may still be scored — stage 2 resolves every candidate through the
+	// catalog and drops vanished ones, so coherence holds.
+	ix.mu.Lock()
+	overlap := make(map[*rec]int)
+	if !pol.Brute {
+		for _, h := range pattern.Hashes {
+			for _, r := range ix.postings[h] {
+				overlap[r]++
+			}
+		}
+	}
+	alive := snapshot[:0]
+	for _, r := range snapshot {
+		if ix.recs[r.name] == r {
+			alive = append(alive, r)
+		}
+	}
+	ix.mu.Unlock()
+
+	stats := Stats{Graphs: len(alive)}
+	var cands []Candidate
+	for _, r := range alive {
+		if pol.Brute {
+			cands = append(cands, Candidate{Name: r.name})
+			continue
+		}
+		cont, res := scoreContent(pattern, r.sum, overlap[r])
+		if pol.MinResemblance > 0 && cont < pol.MinResemblance {
+			stats.PrunedScore++
+			continue
+		}
+		ss := pattern.Sig.StructSim(r.sum.Sig)
+		cands = append(cands, Candidate{
+			Name:        r.name,
+			Score:       (1-structWeight)*cont + structWeight*ss,
+			Containment: cont,
+			Resemblance: res,
+			StructSim:   ss,
+			Overlap:     overlap[r],
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	// Brute force means every graph: the cap never applies to it.
+	if !pol.Brute && pol.MaxCandidates > 0 && len(cands) > pol.MaxCandidates {
+		stats.PrunedCap = len(cands) - pol.MaxCandidates
+		cands = cands[:pol.MaxCandidates:pol.MaxCandidates]
+	}
+	stats.Candidates = len(cands)
+	return cands, stats
+}

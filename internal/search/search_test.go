@@ -1,0 +1,341 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphmatch/internal/catalog"
+	"graphmatch/internal/graph"
+)
+
+// contentGraph builds a tiny graph whose nodes carry the given texts
+// as content (one node per text, chained by edges so degrees are
+// non-trivial).
+func contentGraph(texts ...string) *graph.Graph {
+	g := graph.New(len(texts))
+	for i, txt := range texts {
+		g.AddNodeFull(graph.Node{Label: fmt.Sprintf("n%d", i), Weight: 1, Content: txt})
+	}
+	for i := 1; i < len(texts); i++ {
+		g.AddEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	g.Finish()
+	return g
+}
+
+func TestSignatureOf(t *testing.T) {
+	g := contentGraph("a b c d", "e f g h", "i j k l")
+	sig := SignatureOf(g)
+	if sig.Nodes != 3 || sig.Edges != 2 {
+		t.Fatalf("sig = %+v", sig)
+	}
+	total := 0.0
+	for _, f := range sig.DegHist {
+		total += f
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("histogram sums to %v, want 1", total)
+	}
+	if got := sig.StructSim(sig); got != 1 {
+		t.Fatalf("self StructSim = %v, want 1", got)
+	}
+	empty := SignatureOf(graph.New(0))
+	if empty.Nodes != 0 {
+		t.Fatalf("empty signature = %+v", empty)
+	}
+	// Disjoint histograms score 0; an empty graph's zero histogram
+	// against a real one stays within [0, 1].
+	if s := empty.StructSim(sig); s < 0 || s > 1 {
+		t.Fatalf("empty-vs-real StructSim = %v outside [0,1]", s)
+	}
+}
+
+func TestSummarizeExactWhenSmall(t *testing.T) {
+	g := contentGraph(
+		"alpha beta gamma delta epsilon zeta",
+		"alpha beta gamma delta theta iota",
+	)
+	sum := Summarize(g)
+	if sum.Total != len(sum.Hashes) {
+		t.Fatalf("small graph sampled: total %d, hashes %d", sum.Total, len(sum.Hashes))
+	}
+	if sum.Total == 0 {
+		t.Fatal("no shingles extracted")
+	}
+	if rate := sum.sampleRate(); rate != 1 {
+		t.Fatalf("sampleRate = %v, want 1", rate)
+	}
+	for i := 1; i < len(sum.Hashes); i++ {
+		if sum.Hashes[i-1] >= sum.Hashes[i] {
+			t.Fatal("hashes not sorted distinct")
+		}
+	}
+}
+
+// TestScoreContentEdgeCases pins the divide-by-zero guards: empty
+// pattern, empty graph, both empty — mirroring the shingle package's
+// Resemblance/Containment conventions.
+func TestScoreContentEdgeCases(t *testing.T) {
+	empty := Summary{}
+	full := Summarize(contentGraph("some words to shingle here now"))
+	if c, r := scoreContent(empty, empty, 0); c != 1 || r != 1 {
+		t.Fatalf("empty/empty = %v, %v; want 1, 1", c, r)
+	}
+	if c, r := scoreContent(empty, full, 0); c != 1 || r != 0 {
+		t.Fatalf("empty pattern = %v, %v; want 1, 0", c, r)
+	}
+	if c, r := scoreContent(full, empty, 0); c != 0 || r != 0 {
+		t.Fatalf("empty graph = %v, %v; want 0, 0", c, r)
+	}
+	if c, r := scoreContent(full, full, len(full.Hashes)); c != 1 || r != 1 {
+		t.Fatalf("self = %v, %v; want 1, 1", c, r)
+	}
+	// Overlap beyond the smaller set is clamped, never above 1.
+	if c, r := scoreContent(full, full, 10*len(full.Hashes)); c > 1 || r > 1 {
+		t.Fatalf("clamped = %v, %v; want ≤ 1", c, r)
+	}
+}
+
+func newIndexOver(t *testing.T, graphs map[string]*graph.Graph) (*catalog.Catalog, *Index) {
+	t.Helper()
+	cat := catalog.New(0)
+	for name, g := range graphs {
+		if err := cat.Register(name, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, NewIndex(cat)
+}
+
+func TestCandidatesContainmentExact(t *testing.T) {
+	shared := "the quick brown fox jumps over the lazy dog again and again"
+	_, ix := newIndexOver(t, map[string]*graph.Graph{
+		"same":  contentGraph(shared),
+		"half":  contentGraph(shared + " with entirely different trailing words appended here making overlap partial"),
+		"other": contentGraph("completely unrelated text about graph homomorphism and matching"),
+	})
+	q := Summarize(contentGraph(shared))
+	cands, stats := ix.Candidates(q, Policy{})
+	if stats.Graphs != 3 || len(cands) != 3 {
+		t.Fatalf("stats %+v, %d candidates", stats, len(cands))
+	}
+	byName := map[string]Candidate{}
+	for _, c := range cands {
+		byName[c.Name] = c
+	}
+	if c := byName["same"]; c.Containment != 1 {
+		t.Fatalf("same containment = %v, want 1", c.Containment)
+	}
+	if c := byName["half"]; c.Containment != 1 {
+		// All pattern shingles appear in "half" (it extends the text).
+		t.Fatalf("half containment = %v, want 1", c.Containment)
+	}
+	if c := byName["other"]; c.Containment != 0 {
+		t.Fatalf("other containment = %v, want 0", c.Containment)
+	}
+	if byName["same"].Resemblance <= byName["half"].Resemblance {
+		t.Fatal("resemblance should prefer the identical graph over the superset")
+	}
+	if cands[len(cands)-1].Name != "other" {
+		t.Fatalf("worst candidate = %q, want other", cands[len(cands)-1].Name)
+	}
+}
+
+func TestCandidatesPruning(t *testing.T) {
+	shared := "one two three four five six seven eight nine ten"
+	_, ix := newIndexOver(t, map[string]*graph.Graph{
+		"hit":  contentGraph(shared),
+		"miss": contentGraph("unrelated content entirely disjoint from the query text here"),
+	})
+	q := Summarize(contentGraph(shared))
+
+	cands, stats := ix.Candidates(q, Policy{MinResemblance: 0.5})
+	if len(cands) != 1 || cands[0].Name != "hit" || stats.PrunedScore != 1 {
+		t.Fatalf("cands %v, stats %+v", cands, stats)
+	}
+
+	// MinResemblance 0 keeps everything — the equivalence guarantee.
+	cands, stats = ix.Candidates(q, Policy{})
+	if len(cands) != 2 || stats.PrunedScore != 0 {
+		t.Fatalf("exact policy pruned: %v, %+v", cands, stats)
+	}
+
+	cands, stats = ix.Candidates(q, Policy{MaxCandidates: 1})
+	if len(cands) != 1 || cands[0].Name != "hit" || stats.PrunedCap != 1 {
+		t.Fatalf("cap: cands %v, stats %+v", cands, stats)
+	}
+
+	cands, _ = ix.Candidates(q, Policy{Brute: true})
+	if len(cands) != 2 || cands[0].Name != "hit" || cands[1].Name != "miss" {
+		t.Fatalf("brute order: %v", cands)
+	}
+}
+
+// TestIndexCoherence drives Register/Remove through the catalog and
+// checks the index tracks them: removed graphs disappear, re-registered
+// names serve the new graph.
+func TestIndexCoherence(t *testing.T) {
+	cat, ix := newIndexOver(t, map[string]*graph.Graph{
+		"a": contentGraph("text of graph a which stays registered throughout"),
+		"b": contentGraph("text of graph b which will be removed midway"),
+	})
+	q := Summarize(contentGraph("text of graph b which will be removed midway"))
+	cands, _ := ix.Candidates(q, Policy{MinResemblance: 0.5})
+	if len(cands) != 1 || cands[0].Name != "b" {
+		t.Fatalf("before remove: %v", cands)
+	}
+	if err := cat.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("index holds %d records after remove, want 1", ix.Len())
+	}
+	cands, stats := ix.Candidates(q, Policy{MinResemblance: 0.5})
+	if len(cands) != 0 {
+		t.Fatalf("after remove: %v", cands)
+	}
+	if stats.Graphs != 1 {
+		t.Fatalf("stats.Graphs = %d, want 1", stats.Graphs)
+	}
+	// Re-register the name with different content: the index must serve
+	// the new graph, not the stale postings.
+	if err := cat.Register("b", contentGraph("completely new content for the reused name")); err != nil {
+		t.Fatal(err)
+	}
+	cands, _ = ix.Candidates(q, Policy{MinResemblance: 0.5})
+	if len(cands) != 0 {
+		t.Fatalf("stale postings survived re-register: %v", cands)
+	}
+	q2 := Summarize(contentGraph("completely new content for the reused name"))
+	cands, _ = ix.Candidates(q2, Policy{MinResemblance: 0.5})
+	if len(cands) != 1 || cands[0].Name != "b" {
+		t.Fatalf("new content not indexed: %v", cands)
+	}
+}
+
+// TestIndexAttachesToPopulatedCatalog checks the hook replay: an index
+// created after graphs were registered still sees them.
+func TestIndexAttachesToPopulatedCatalog(t *testing.T) {
+	cat := catalog.New(0)
+	if err := cat.Register("pre", contentGraph("registered before the index existed")); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(cat)
+	if ix.Len() != 1 {
+		t.Fatalf("index missed the pre-registered graph: len %d", ix.Len())
+	}
+	cands, _ := ix.Candidates(Summarize(contentGraph("registered before the index existed")), Policy{MinResemblance: 0.5})
+	if len(cands) != 1 || cands[0].Name != "pre" {
+		t.Fatalf("candidates %v", cands)
+	}
+}
+
+// TestIndexConcurrentChurn hammers the index with concurrent catalog
+// mutations and searches; run under -race this pins the locking
+// protocol (hook under the catalog lock, summaries built outside,
+// commits re-validated).
+func TestIndexConcurrentChurn(t *testing.T) {
+	cat, ix := newIndexOver(t, map[string]*graph.Graph{
+		"stable": contentGraph("stable graph text that never goes away during the churn"),
+	})
+	q := Summarize(contentGraph("stable graph text that never goes away during the churn"))
+
+	const churners = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			name := fmt.Sprintf("churn-%d", c)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := contentGraph(fmt.Sprintf("churning content %d %d %s", c, i, "filler words to shingle"))
+				_ = cat.Register(name, g)
+				if rng.Intn(4) > 0 { // leave the name registered now and then
+					_ = cat.Remove(name)
+				}
+			}
+		}(c)
+	}
+	valid := map[string]bool{"stable": true}
+	for c := 0; c < churners; c++ {
+		valid[fmt.Sprintf("churn-%d", c)] = true
+	}
+	for i := 0; i < 200; i++ {
+		cands, _ := ix.Candidates(q, Policy{})
+		found := false
+		for _, cand := range cands {
+			if !valid[cand.Name] {
+				t.Errorf("unknown candidate %q", cand.Name)
+			}
+			if cand.Name == "stable" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("stable graph missing from candidates")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Drain the churned names; only the stable graph must remain.
+	for c := 0; c < churners; c++ {
+		_ = cat.Remove(fmt.Sprintf("churn-%d", c))
+	}
+	cands, stats := ix.Candidates(q, Policy{})
+	if stats.Graphs != 1 || len(cands) != 1 || cands[0].Name != "stable" {
+		t.Fatalf("after churn: cands %v, stats %+v", cands, stats)
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	// Push the same hits in two different orders; the ranking must not
+	// change, and ties must break by name.
+	hits := []Hit{
+		{Name: "c", Score: 0.5, Tie: 0.1},
+		{Name: "a", Score: 0.9, Tie: 0.2},
+		{Name: "b", Score: 0.9, Tie: 0.2},
+		{Name: "d", Score: 0.5, Tie: 0.3},
+		{Name: "e", Score: 0.1},
+	}
+	want := []string{"a", "b", "d"}
+	for perm := 0; perm < 10; perm++ {
+		rng := rand.New(rand.NewSource(int64(perm)))
+		shuffled := append([]Hit(nil), hits...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		top := NewTopK(3)
+		for _, h := range shuffled {
+			top.Push(h)
+		}
+		var got []string
+		for _, h := range top.Ranked() {
+			got = append(got, h.Name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("perm %d: ranked %v, want %v", perm, got, want)
+		}
+	}
+}
+
+func TestTopKUnbounded(t *testing.T) {
+	top := NewTopK(0)
+	for i := 0; i < 20; i++ {
+		top.Push(Hit{Name: fmt.Sprintf("g%02d", i), Score: float64(i)})
+	}
+	ranked := top.Ranked()
+	if len(ranked) != 20 {
+		t.Fatalf("unbounded fold kept %d", len(ranked))
+	}
+	if ranked[0].Name != "g19" || ranked[19].Name != "g00" {
+		t.Fatalf("order: first %q last %q", ranked[0].Name, ranked[19].Name)
+	}
+}

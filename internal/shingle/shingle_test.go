@@ -165,3 +165,57 @@ func randText(rng *rand.Rand, n int) string {
 	}
 	return b.String()
 }
+
+// TestContainmentEdgeCases pins the divide-by-zero guards the search
+// subsystem's scoring relies on: empty and nil sets must score without
+// arithmetic panics, mirroring Resemblance's conventions.
+func TestContainmentEdgeCases(t *testing.T) {
+	s := NewShingler(4)
+	full := s.Shingle("one two three four five six")
+	if got := Containment(Set{}, full); got != 1 {
+		t.Fatalf("Containment(empty, full) = %v, want 1", got)
+	}
+	if got := Containment(Set{}, Set{}); got != 1 {
+		t.Fatalf("Containment(empty, empty) = %v, want 1", got)
+	}
+	if got := Containment(full, Set{}); got != 0 {
+		t.Fatalf("Containment(full, empty) = %v, want 0", got)
+	}
+	// Nil maps behave as empty sets.
+	if got := Containment(nil, full); got != 1 {
+		t.Fatalf("Containment(nil, full) = %v, want 1", got)
+	}
+	if got := Containment(full, nil); got != 0 {
+		t.Fatalf("Containment(full, nil) = %v, want 0", got)
+	}
+	if got := Resemblance(nil, nil); got != 1 {
+		t.Fatalf("Resemblance(nil, nil) = %v, want 1", got)
+	}
+	if got := Resemblance(nil, full); got != 0 {
+		t.Fatalf("Resemblance(nil, full) = %v, want 0", got)
+	}
+}
+
+// TestZeroSizeShingler checks that degenerate window sizes fall back
+// to the default instead of producing zero-width shingles.
+func TestZeroSizeShingler(t *testing.T) {
+	for _, size := range []int{0, -1, -100} {
+		s := NewShingler(size)
+		if s.Size() != DefaultSize {
+			t.Fatalf("NewShingler(%d).Size() = %d, want %d", size, s.Size(), DefaultSize)
+		}
+		set := s.Shingle("a b c d e f g")
+		if len(set) == 0 {
+			t.Fatalf("NewShingler(%d) produced no shingles", size)
+		}
+		if got := Resemblance(set, set); got != 1 {
+			t.Fatalf("self resemblance = %v", got)
+		}
+	}
+	if set := NewShingler(0).Shingle(""); len(set) != 0 {
+		t.Fatalf("empty text shingled to %d entries", len(set))
+	}
+	if set := NewShingler(0).Shingle("..., !!"); len(set) != 0 {
+		t.Fatalf("punctuation-only text shingled to %d entries", len(set))
+	}
+}
