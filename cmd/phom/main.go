@@ -23,12 +23,24 @@
 // base name (or an explicit name=path). -min-resemblance and
 // -max-candidates bound the prefilter; -brute disables it for an
 // exhaustive scan.
+//
+// The snapshot and compact verbs manage a phomd store (see phomd
+// -store): snapshot asks a running server to compact its WAL into a
+// fresh snapshot over HTTP, compact does the same offline on the store
+// directory while the server is down. Both exit non-zero on failure —
+// including HTTP error responses — so they can gate scripts:
+//
+//	phom snapshot -addr http://localhost:8080
+//	phom compact -store /var/lib/phomd
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,12 +48,22 @@ import (
 
 	"graphmatch"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/store"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "search" {
-		runSearch(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "search":
+			runSearch(os.Args[2:])
+			return
+		case "snapshot":
+			runSnapshot(os.Args[2:])
+			return
+		case "compact":
+			runCompact(os.Args[2:])
+			return
+		}
 	}
 	patternPath := flag.String("pattern", "", "pattern graph G1 (JSON)")
 	dataPath := flag.String("data", "", "data graph G2 (JSON)")
@@ -197,6 +219,70 @@ func runSearch(args []string) {
 	fmt.Printf("\n%d graphs, %d candidates, %d pruned (%.0f%%), %d matched; stage1 %v, stage2 %v\n",
 		st.Graphs, st.Candidates, st.Pruned, st.PruneRate*100, st.Matched,
 		st.Stage1.Round(time.Microsecond), st.Stage2.Round(time.Microsecond))
+}
+
+// runSnapshot asks a running phomd to compact its WAL into a fresh
+// snapshot via POST /v1/admin/snapshot.
+func runSnapshot(args []string) {
+	fs := flag.NewFlagSet("phom snapshot", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "phomd base URL")
+	_ = fs.Parse(args)
+
+	body := postOrDie(*addr + "/v1/admin/snapshot")
+	var out struct {
+		Store graphmatch.StoreStats `json:"store"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+	st := out.Store
+	fmt.Printf("snapshot written: seq %d, %d segment(s), %d WAL bytes since\n",
+		st.SnapshotSeq, st.Segments, st.WALBytes)
+}
+
+// postOrDie POSTs with an empty body and returns the response body.
+// Any transport failure or non-2xx status is fatal with a non-zero
+// exit code — an HTTP error response must fail the command, not just
+// print the server's error text and exit 0.
+func postOrDie(url string) []byte {
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			fatal(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		}
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	return body
+}
+
+// runCompact folds a store directory's WAL into a fresh snapshot
+// offline (the owning phomd must be stopped).
+func runCompact(args []string) {
+	fs := flag.NewFlagSet("phom compact", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory (as passed to phomd -store)")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "phom compact: -store is required")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	info, err := store.Compact(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted %s: %d graphs at seq %d (%d WAL ops folded in)\n",
+		*dir, info.Graphs, info.LastSeq, info.ReplayedOps)
 }
 
 // simWire maps the CLI's similarity names onto the engine's wire

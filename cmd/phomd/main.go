@@ -17,6 +17,16 @@
 // Every registered graph's transitive closure is computed once and
 // shared across all requests; /v1/stats reports the closure-cache hit
 // rate alongside engine throughput counters.
+//
+// With -store DIR the catalog is durable: every mutation (register,
+// PATCH /v1/graphs/{name}, delete) is appended to a write-ahead log
+// and fsynced before it is acknowledged, the WAL is compacted into a
+// binary snapshot every -snapshot-every mutations (or on demand via
+// POST /v1/admin/snapshot), and a restart replays snapshot + WAL —
+// rebuilding closure tiers and the search index — before the listener
+// accepts traffic:
+//
+//	phomd -addr :8080 -store /var/lib/phomd -snapshot-every 1000
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphmatch/internal/catalog"
 	"graphmatch/internal/closure"
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
@@ -61,6 +72,8 @@ func main() {
 	maxExact := flag.Int("max-exact-nodes", 16, "largest pattern accepted for the exponential decide/decide11 algorithms (0 = unlimited)")
 	searchMaxCand := flag.Int("search-max-candidates", 0, "default cap on /v1/search candidates reaching the matcher (0 = unlimited)")
 	searchMinRes := flag.Float64("search-min-resemblance", 0, "default /v1/search prune threshold on the shingle-containment prefilter score (0 = keep all graphs)")
+	storePath := flag.String("store", "", "durable catalog directory (WAL + snapshots); empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 1000, "compact the WAL into a snapshot every N mutations (0 = only on demand via /v1/admin/snapshot); needs -store")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
@@ -71,7 +84,11 @@ func main() {
 		log.Fatalf("phomd: %v", err)
 	}
 
-	eng := engine.New(engine.Options{
+	// With -store, Open replays the persisted catalog (snapshot + WAL)
+	// here — closures and search index rebuilt — so the listener below
+	// only ever binds in front of a fully recovered engine.
+	bootStart := time.Now()
+	eng, err := engine.Open(engine.Options{
 		Workers:              *workers,
 		MaxClosures:          *maxClosures,
 		MaxClosureBytes:      *maxClosureBytes,
@@ -80,8 +97,18 @@ func main() {
 		ExactNodeLimit:       *maxExact,
 		SearchMaxCandidates:  *searchMaxCand,
 		SearchMinResemblance: *searchMinRes,
+		StorePath:            *storePath,
+		SnapshotEvery:        *snapshotEvery,
 	})
-	defer eng.Close()
+	if err != nil {
+		log.Fatalf("phomd: opening engine: %v", err)
+	}
+	if *storePath != "" {
+		st, _ := eng.StoreStats()
+		log.Printf("store %s: replayed to seq %d (%d graphs, snapshot at seq %d, %d recovered tails) in %v",
+			*storePath, st.LastSeq, eng.Catalog().Len(), st.SnapshotSeq, st.Recovered,
+			time.Since(bootStart).Round(time.Millisecond))
+	}
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
@@ -91,6 +118,14 @@ func main() {
 		}
 		start := time.Now()
 		if err := eng.Register(name, g); err != nil {
+			// A store-backed restart replays -load'ed graphs from the WAL
+			// before this loop runs; re-registering them is the normal
+			// restart-with-the-same-flags case, not a boot failure. The
+			// store's copy wins (it includes any live patches).
+			if *storePath != "" && errors.Is(err, catalog.ErrDuplicate) {
+				log.Printf("skipping -load %q: already recovered from the store", name)
+				continue
+			}
 			log.Fatalf("phomd: registering %q: %v", name, err)
 		}
 		log.Printf("registered %q: %d nodes, %d edges (closure in %v)",
@@ -119,10 +154,18 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Graceful shutdown, in dependency order: SIGINT/SIGTERM stops the
+	// listener (Shutdown waits for in-flight HTTP requests), then
+	// eng.Close drains the worker pool and — with -store — fsyncs and
+	// closes the WAL, so no acknowledged mutation is left in an
+	// unsynced tail when the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
+		log.Printf("phomd: signal received, draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -131,10 +174,24 @@ func main() {
 	}()
 
 	log.Printf("phomd listening on %s (%d workers)", *addr, eng.Stats().Workers)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Close before exiting even on a listener failure: -load
+		// registrations may already sit in the WAL.
+		eng.Close()
 		log.Fatalf("phomd: %v", err)
 	}
-	log.Printf("phomd stopped")
+	// ListenAndServe returns the moment the listener closes, while
+	// Shutdown is still draining in-flight handlers — wait for the
+	// drain before closing the engine underneath those requests.
+	stop()
+	<-drained
+	eng.Close()
+	if st, ok := eng.StoreStats(); ok {
+		log.Printf("phomd stopped (WAL synced at seq %d)", st.LastSeq)
+	} else {
+		log.Printf("phomd stopped")
+	}
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

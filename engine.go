@@ -2,6 +2,8 @@ package graphmatch
 
 import (
 	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/store"
 )
 
 // Serving layer. Engine turns the one-shot Matcher library into a
@@ -41,6 +43,17 @@ type (
 	SearchHit = engine.SearchHit
 	// SearchStats reports the work one search did, stage by stage.
 	SearchStats = engine.SearchStats
+	// GraphPatch is a live in-place edit of a registered data graph:
+	// nodes appended, edges added and deleted, contents rewritten. Apply
+	// one with Engine.ApplyPatch; with a store it is durable before it
+	// is acknowledged. See the internal/graph documentation for the
+	// application semantics.
+	GraphPatch = graph.Patch
+	// ContentUpdate rewrites one node's content inside a GraphPatch.
+	ContentUpdate = graph.ContentUpdate
+	// StoreStats reports the durability subsystem's counters (WAL
+	// position, snapshot state, recovered tails); see Engine.StoreStats.
+	StoreStats = store.Stats
 )
 
 // Engine algorithm names.
@@ -80,3 +93,17 @@ const (
 //		Algo: graphmatch.AlgoMaxCard, Xi: 0.75,
 //	})
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// OpenEngine starts a serving engine with durability: when
+// opts.StorePath names a directory, every catalog mutation (Register,
+// Remove, ApplyPatch) is appended to a write-ahead log and fsynced
+// before it is acknowledged, and OpenEngine replays the persisted
+// snapshot + WAL — rebuilding closures and the search index — before
+// returning.
+//
+//	eng, err := graphmatch.OpenEngine(graphmatch.EngineOptions{
+//		StorePath:     "/var/lib/phomd",
+//		SnapshotEvery: 1000, // compact the WAL every 1000 mutations
+//	})
+//	defer eng.Close() // drains workers, fsyncs and closes the WAL
+func OpenEngine(opts EngineOptions) (*Engine, error) { return engine.Open(opts) }

@@ -44,6 +44,10 @@ var (
 	ErrNotFound = errors.New("catalog: graph not found")
 	// ErrDuplicate reports a Register against a name already taken.
 	ErrDuplicate = errors.New("catalog: graph already registered")
+	// ErrBadPatch reports an Apply whose patch failed validation (empty,
+	// out-of-range node, absent edge) — the client's fault, nothing
+	// committed.
+	ErrBadPatch = errors.New("catalog: invalid patch")
 )
 
 // DefaultMaxClosures bounds resident closures when no explicit capacity
@@ -171,12 +175,33 @@ type graphEntry struct {
 }
 
 // MutationHook observes registry mutations: it is invoked once per
-// successful Register (removed = false) and once per Remove
-// (removed = true, g is the graph that was registered). Hooks run
-// synchronously under the catalog lock so observers see mutations in
-// their true order; they must return quickly and must not call back
-// into the catalog.
+// successful Register (removed = false), once per Remove
+// (removed = true, g is the graph that was registered), and once per
+// Apply (removed = false, g is the patched replacement graph — a new
+// pointer, which is how observers distinguish an in-place update from
+// a replayed Register). Hooks run synchronously under the catalog lock
+// so observers see mutations in their true order; they must return
+// quickly and must not call back into the catalog.
 type MutationHook func(name string, g *graph.Graph, removed bool)
+
+// Persister is the catalog's write-ahead durability callback. Each
+// method is invoked under the catalog lock, after validation but
+// before the in-memory mutation commits: an error vetoes the mutation
+// (nothing changes, the caller gets the error), and a nil return means
+// the op is durable — the store fsyncs before returning — so every
+// acknowledged mutation survives a crash. LogPatch receives the patch,
+// not the patched graph: the log stays proportional to the edit, and
+// replaying patches against replayed graphs is deterministic.
+//
+// The persister and the MutationHook split the observer duties: the
+// persister runs first (write-ahead, fallible), the hook after commit
+// (coherence, infallible). Replay installs neither until boot is done,
+// so replayed mutations are not re-logged.
+type Persister interface {
+	LogRegister(name string, g *graph.Graph) error
+	LogRemove(name string) error
+	LogPatch(name string, p *graph.Patch) error
+}
 
 // Catalog is a concurrency-safe registry of named data graphs with a
 // bounded, shared closure cache. The zero value is not usable; create
@@ -190,6 +215,7 @@ type Catalog struct {
 	maxBytes int64 // 0 = unbounded
 
 	onMutate MutationHook
+	persist  Persister
 
 	tierPolicy    closure.TierPolicy
 	denseMaxBytes int
@@ -245,13 +271,32 @@ func (c *Catalog) Register(name string, g *graph.Graph) error {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
+	if c.persist != nil {
+		if err := c.persist.LogRegister(name, g); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
 	c.graphs[name] = &graphEntry{g: g}
 	if c.onMutate != nil {
 		c.onMutate(name, g, false)
 	}
 	c.mu.Unlock()
-	_, err := c.Reach(name, 0)
-	return err
+	// The registration is committed (and durable, with a persister); the
+	// eager closure build is a warm-up and can only fail if a concurrent
+	// Remove already took the name — not a registration failure.
+	_, _ = c.Reach(name, 0)
+	return nil
+}
+
+// SetPersister installs p as the catalog's write-ahead durability
+// callback (one at most; nil removes it). Unlike SetMutationHook there
+// is no replay: the persister is installed after boot-time recovery
+// precisely so the recovered state is not re-logged.
+func (c *Catalog) SetPersister(p Persister) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.persist = p
 }
 
 // SetMutationHook installs fn as the catalog's mutation observer (one
@@ -286,10 +331,86 @@ func (c *Catalog) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	if c.persist != nil {
+		if err := c.persist.LogRemove(name); err != nil {
+			return err
+		}
+	}
 	delete(c.graphs, name)
 	if c.onMutate != nil {
 		c.onMutate(name, ge.g, true)
 	}
+	c.dropClosuresLocked(name)
+	return nil
+}
+
+// Apply patches a registered graph in place: the live-mutation path
+// behind PATCH /v1/graphs/{name}. Registered graphs are shared
+// immutable objects (concurrent matchers and cached closures read
+// them), so the patch is applied copy-on-write — the patched clone is
+// swapped into the registry, every cached closure and index derived
+// from the old graph is invalidated, and the mutation hook fires with
+// the new graph so the search index reindexes it — all under one lock
+// hold, so observers never see a half-applied edit. The patched graph
+// is immediately matchable and searchable; its closure is rebuilt
+// eagerly, like Register's, so the first match after a patch is
+// already a cache hit. In-flight requests that resolved the old
+// (graph, closure) pair finish against that consistent pair.
+func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
+	if p == nil || p.Empty() {
+		return nil, fmt.Errorf("%w: empty patch for %q", ErrBadPatch, name)
+	}
+	// Clone + patch outside the lock: the clone is O(nodes + edges) and
+	// the catalog mutex gates every match request's graph resolution —
+	// holding it across a 100k-node copy would stall the serving hot
+	// path behind each mutation. The commit below re-checks that the
+	// entry is still the one the clone derived from and retries against
+	// the newer graph otherwise (same optimistic pattern the search
+	// index uses for its summaries).
+	var ng *graph.Graph
+	for {
+		c.mu.Lock()
+		ge, ok := c.graphs[name]
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		var err error
+		if ng, err = ge.g.ApplyPatch(p); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPatch, err)
+		}
+
+		c.mu.Lock()
+		if c.graphs[name] != ge {
+			c.mu.Unlock()
+			continue // lost a race with another mutation of this name
+		}
+		if c.persist != nil {
+			if err := c.persist.LogPatch(name, p); err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+		}
+		c.graphs[name] = &graphEntry{g: ng}
+		if c.onMutate != nil {
+			c.onMutate(name, ng, false)
+		}
+		c.dropClosuresLocked(name)
+		c.mu.Unlock()
+		break
+	}
+	// Warm the closure eagerly, like Register. The patch is committed
+	// (and, with a persister, durable) at this point: a warm-up failure
+	// — only possible when a concurrent Remove takes the name, making
+	// the warm-up moot — must not be reported as a mutation failure, or
+	// a client would retry an already-applied patch.
+	_, _ = c.Reach(name, 0)
+	return ng, nil
+}
+
+// dropClosuresLocked evicts every cached closure derived from name.
+// Callers hold c.mu.
+func (c *Catalog) dropClosuresLocked(name string) {
 	for k, e := range c.closures {
 		if k.name == name {
 			c.lru.Remove(e.elem)
@@ -297,7 +418,26 @@ func (c *Catalog) Remove(name string) error {
 			delete(c.closures, k)
 		}
 	}
-	return nil
+}
+
+// Export returns a point-in-time copy of the registry (name → graph;
+// the graphs are the shared immutable objects, not clones). When
+// prepare is non-nil it runs under the same lock hold, before the
+// copy: the snapshot path passes the store's WAL rotation here, so the
+// exported state corresponds exactly to the rotation's sequence number
+// — no mutation (and therefore no WAL append, since the persister also
+// runs under this lock) can interleave.
+func (c *Catalog) Export(prepare func()) map[string]*graph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prepare != nil {
+		prepare()
+	}
+	out := make(map[string]*graph.Graph, len(c.graphs))
+	for n, ge := range c.graphs {
+		out[n] = ge.g
+	}
+	return out
 }
 
 // dropAccountingLocked retires an entry's contribution to the resident

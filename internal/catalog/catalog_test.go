@@ -597,3 +597,134 @@ func TestDescribe(t *testing.T) {
 		t.Fatalf("describe missing: %v", err)
 	}
 }
+
+// TestApplyPatch checks the live-mutation path: copy-on-write swap,
+// closure invalidation + eager rebuild, and the mutation hook firing
+// with the patched graph.
+func TestApplyPatch(t *testing.T) {
+	c := New(4)
+	if err := c.Register("web", chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := c.Get("web")
+	oldReach, err := c.Reach("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hooked *graph.Graph
+	c.SetMutationHook(func(name string, g *graph.Graph, removed bool) {
+		if name == "web" && !removed {
+			hooked = g
+		}
+	})
+
+	ng, err := c.Apply("web", &graph.Patch{
+		AddNodes: []graph.Node{{Label: "n3", Weight: 1}},
+		AddEdges: [][2]graph.NodeID{{2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng == old {
+		t.Fatal("Apply mutated in place instead of copy-on-write")
+	}
+	if old.NumNodes() != 3 {
+		t.Fatal("old graph mutated")
+	}
+	got, _ := c.Get("web")
+	if got != ng || got.NumNodes() != 4 {
+		t.Fatalf("registry holds %v, want patched graph", got)
+	}
+	if hooked != ng {
+		t.Fatal("mutation hook did not observe the patched graph")
+	}
+	// The closure was invalidated and eagerly rebuilt for the new graph.
+	newReach, err := c.Reach("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newReach == oldReach {
+		t.Fatal("stale closure survived the patch")
+	}
+	if !newReach.Reachable(0, 3) {
+		t.Fatal("rebuilt closure misses the patched path 0→3")
+	}
+
+	// Bad patches leave everything untouched.
+	if _, err := c.Apply("web", &graph.Patch{DelEdges: [][2]graph.NodeID{{3, 0}}}); err == nil {
+		t.Fatal("deleting an absent edge should fail")
+	}
+	if g, _ := c.Get("web"); g != ng {
+		t.Fatal("failed patch replaced the graph")
+	}
+	if _, err := c.Apply("missing", &graph.Patch{AddNodes: []graph.Node{{Label: "x"}}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("apply to missing graph: %v", err)
+	}
+	if _, err := c.Apply("web", &graph.Patch{}); err == nil {
+		t.Fatal("empty patch should fail")
+	}
+}
+
+// vetoPersister fails every log call.
+type vetoPersister struct{ err error }
+
+func (v vetoPersister) LogRegister(string, *graph.Graph) error { return v.err }
+func (v vetoPersister) LogRemove(string) error                 { return v.err }
+func (v vetoPersister) LogPatch(string, *graph.Patch) error    { return v.err }
+
+// TestPersisterVeto checks write-ahead semantics: a persister error
+// aborts the mutation before anything commits.
+func TestPersisterVeto(t *testing.T) {
+	c := New(4)
+	if err := c.Register("keep", chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	bang := errors.New("disk full")
+	c.SetPersister(vetoPersister{err: bang})
+
+	if err := c.Register("new", chain(2)); !errors.Is(err, bang) {
+		t.Fatalf("register under veto: %v", err)
+	}
+	if _, err := c.Get("new"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("vetoed register still committed")
+	}
+	if err := c.Remove("keep"); !errors.Is(err, bang) {
+		t.Fatalf("remove under veto: %v", err)
+	}
+	if _, err := c.Get("keep"); err != nil {
+		t.Fatal("vetoed remove still committed")
+	}
+	if _, err := c.Apply("keep", &graph.Patch{AddNodes: []graph.Node{{Label: "x"}}}); !errors.Is(err, bang) {
+		t.Fatalf("apply under veto: %v", err)
+	}
+	if g, _ := c.Get("keep"); g.NumNodes() != 3 {
+		t.Fatal("vetoed apply still committed")
+	}
+
+	c.SetPersister(nil)
+	if err := c.Register("new", chain(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExport(t *testing.T) {
+	c := New(4)
+	for _, n := range []string{"a", "b"} {
+		if err := c.Register(n, chain(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prepared := false
+	state := c.Export(func() { prepared = true })
+	if !prepared {
+		t.Fatal("prepare did not run")
+	}
+	if len(state) != 2 {
+		t.Fatalf("exported %d graphs, want 2", len(state))
+	}
+	ga, _ := c.Get("a")
+	if state["a"] != ga {
+		t.Fatal("export should share the registered graph objects")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"graphmatch/internal/search"
 	"graphmatch/internal/simmatrix"
 	"graphmatch/internal/simulation"
+	"graphmatch/internal/store"
 )
 
 // Algorithm names one of the matching procedures the engine can run.
@@ -183,6 +185,18 @@ type Options struct {
 	// never drops them, so search is exactly equivalent to a
 	// brute-force scan).
 	SearchMinResemblance float64
+	// StorePath, when non-empty, makes the catalog durable: mutations
+	// (Register, Remove, ApplyPatch) are written to a WAL in this
+	// directory and fsynced before they are acknowledged, and Open
+	// replays snapshot + WAL to rebuild the catalog — closure tiers and
+	// search index included — before returning. Engines with a
+	// StorePath must be created with Open, not New.
+	StorePath string
+	// SnapshotEvery compacts the WAL into a fresh snapshot after this
+	// many logged mutations (in the background, off the mutation path).
+	// Non-positive disables automatic snapshots; explicit Snapshot
+	// calls still work.
+	SnapshotEvery int
 }
 
 // reqKey identifies a computation for coalescing. The pattern is
@@ -236,6 +250,17 @@ type Engine struct {
 	sendMu sync.RWMutex
 	closed bool
 
+	// store is the durability subsystem (nil without Options.StorePath):
+	// the catalog's persister appends every mutation to its WAL, and
+	// Snapshot compacts it. snapMu serialises snapshots (explicit and
+	// background) and holds them off during Close; snapPending collapses
+	// concurrent background triggers into one.
+	store         *store.Store
+	snapshotEvery int
+	snapMu        sync.Mutex
+	snapWg        sync.WaitGroup
+	snapPending   atomic.Bool
+
 	requests  atomic.Uint64
 	executed  atomic.Uint64
 	coalesced atomic.Uint64
@@ -245,8 +270,22 @@ type Engine struct {
 	workers   int
 }
 
-// New starts an engine with the given options.
+// New starts an engine with the given options. It panics when
+// Options.StorePath is set and opening or replaying the store fails —
+// persistent engines should use Open, which returns that error.
 func New(opts Options) *Engine {
+	e, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open starts an engine. When Options.StorePath is set, the persisted
+// catalog is replayed — graphs registered, patches applied, closures
+// and the search index rebuilt — before Open returns, so a server can
+// bind its listener only once the recovered engine is ready to serve.
+func Open(opts Options) (*Engine, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -266,13 +305,19 @@ func New(opts Options) *Engine {
 		exactLimit:       opts.ExactNodeLimit,
 		searchMaxCand:    opts.SearchMaxCandidates,
 		searchMinResembl: opts.SearchMinResemblance,
+		snapshotEvery:    opts.SnapshotEvery,
 	}
 	e.searchIdx = search.NewIndex(e.cat)
+	if opts.StorePath != "" {
+		if err := e.openStore(opts.StorePath); err != nil {
+			return nil, err
+		}
+	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
 	}
-	return e
+	return e, nil
 }
 
 // Catalog exposes the underlying graph registry (for stats endpoints
@@ -280,20 +325,33 @@ func New(opts Options) *Engine {
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // Register adds a data graph to the catalog and precomputes its shared
-// closure. See catalog.Catalog.Register for ownership rules.
+// closure. When the engine has a store, the registration is logged and
+// fsynced before it is acknowledged. See catalog.Catalog.Register for
+// ownership rules.
 func (e *Engine) Register(name string, g *graph.Graph) error {
-	return e.cat.Register(name, g)
+	if err := e.cat.Register(name, g); err != nil {
+		return err
+	}
+	e.maybeSnapshot()
+	return nil
 }
 
 // Remove drops a registered data graph and every cached closure and
 // index derived from it. In-flight requests against the graph finish
-// against the state they already resolved.
+// against the state they already resolved. With a store, the removal
+// is durable before it is acknowledged.
 func (e *Engine) Remove(name string) error {
-	return e.cat.Remove(name)
+	if err := e.cat.Remove(name); err != nil {
+		return err
+	}
+	e.maybeSnapshot()
+	return nil
 }
 
-// Close drains the pool. Pending tasks complete; subsequent Match
-// calls fail. Close is idempotent.
+// Close drains the pool and, when the engine has a store, fsyncs and
+// closes the WAL — after Close returns, no acknowledged mutation can
+// be lost and no tail record is in flight. Pending tasks complete;
+// subsequent Match calls fail. Close is idempotent.
 func (e *Engine) Close() {
 	e.sendMu.Lock()
 	if e.closed {
@@ -304,6 +362,17 @@ func (e *Engine) Close() {
 	e.sendMu.Unlock()
 	close(e.queue)
 	e.wg.Wait()
+	if e.store != nil {
+		// Let an already-triggered background snapshot finish (snapWg),
+		// and hold snapMu so no snapshot can be mid-write while the store
+		// closes underneath it.
+		e.snapWg.Wait()
+		e.snapMu.Lock()
+		if err := e.store.Close(); err != nil {
+			log.Printf("engine: closing store: %v", err)
+		}
+		e.snapMu.Unlock()
+	}
 }
 
 // Stats snapshots the engine counters.

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/store"
+)
+
+// ErrNoStore rejects persistence operations (Snapshot, store stats) on
+// an engine that was opened without Options.StorePath.
+var ErrNoStore = errors.New("engine: no store configured")
+
+// persister adapts the store to the catalog's write-ahead callback.
+// Its methods run under the catalog lock, so the WAL order is exactly
+// the mutation order and an acknowledged mutation is durable (Append
+// fsyncs) before the registry commits it.
+type persister struct{ st *store.Store }
+
+func (p persister) LogRegister(name string, g *graph.Graph) error {
+	_, err := p.st.Append(store.Op{Kind: store.OpRegister, Name: name, Graph: g})
+	return err
+}
+
+func (p persister) LogRemove(name string) error {
+	_, err := p.st.Append(store.Op{Kind: store.OpRemove, Name: name})
+	return err
+}
+
+func (p persister) LogPatch(name string, pt *graph.Patch) error {
+	_, err := p.st.Append(store.Op{Kind: store.OpPatch, Name: name, Patch: pt})
+	return err
+}
+
+// openStore opens and replays the store during engine boot. The ops
+// are first folded to their final state — a graph registered once and
+// patched N times yields one graph, not N+1 catalog mutations — and
+// each survivor is registered through the ordinary catalog path, so
+// closure tiers rebuild and the search index reindexes exactly once
+// per graph; by the time Open returns, the recovered catalog is warm
+// and the HTTP listener can accept traffic. The persister is installed
+// only after the replay, so recovered state is not re-logged.
+func (e *Engine) openStore(path string) error {
+	st, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	state, _, err := st.FoldState()
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("engine: replaying %s: %w", path, err)
+	}
+	names := make([]string, 0, len(state))
+	for name := range state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := e.cat.Register(name, state[name]); err != nil {
+			st.Close()
+			return fmt.Errorf("engine: replaying %s: %w", path, err)
+		}
+	}
+	e.store = st
+	e.cat.SetPersister(persister{st: st})
+	return nil
+}
+
+// ApplyPatch edits a registered data graph in place (copy-on-write
+// underneath): the patched graph is immediately matchable and
+// searchable, every closure and index derived from the old version is
+// invalidated, and — when the engine has a store — the patch is logged
+// and fsynced before it is acknowledged. See graph.Patch for the edit
+// semantics.
+func (e *Engine) ApplyPatch(name string, p *graph.Patch) (*graph.Graph, error) {
+	g, err := e.cat.Apply(name, p)
+	if err != nil {
+		return nil, err
+	}
+	e.maybeSnapshot()
+	return g, nil
+}
+
+// Snapshot compacts the store: it rotates the WAL while the registry
+// is briefly locked (so state and sequence number agree exactly),
+// writes every registered graph to a new snapshot file, and deletes
+// the WAL segments the snapshot folded in — bounding the next boot's
+// replay work. It fails with ErrNoStore when the engine has no store.
+func (e *Engine) Snapshot() (store.Stats, error) {
+	if e.store == nil {
+		return store.Stats{}, ErrNoStore
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	var (
+		seq    uint64
+		sealed []string
+		rerr   error
+	)
+	state := e.cat.Export(func() { seq, sealed, rerr = e.store.Rotate() })
+	if rerr != nil {
+		return store.Stats{}, rerr
+	}
+	if err := e.store.WriteSnapshot(state, seq, sealed); err != nil {
+		return store.Stats{}, err
+	}
+	return e.store.Stats(), nil
+}
+
+// StoreStats snapshots the store counters; ok is false when the engine
+// has no store.
+func (e *Engine) StoreStats() (st store.Stats, ok bool) {
+	if e.store == nil {
+		return store.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// maybeSnapshot triggers a background snapshot when the WAL has grown
+// past Options.SnapshotEvery since the last one. It runs after a
+// mutation is acknowledged, off the caller's path: snapshots are
+// capacity management, not durability (the WAL already is), so they
+// must not add latency to mutations. snapMu serialises concurrent
+// triggers; snapPending collapses a burst into one pass.
+func (e *Engine) maybeSnapshot() {
+	if e.store == nil || e.snapshotEvery <= 0 {
+		return
+	}
+	if e.store.SinceSnapshot() < e.snapshotEvery {
+		return
+	}
+	if !e.snapPending.CompareAndSwap(false, true) {
+		return
+	}
+	// Register with snapWg under the closed check: Close flips closed
+	// (under sendMu) before it waits on snapWg, so either this Add is
+	// observed by that Wait, or closed is observed here and no snapshot
+	// spawns against a closing store — never an Add racing the Wait.
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.snapPending.Store(false)
+		return
+	}
+	e.snapWg.Add(1)
+	e.sendMu.RUnlock()
+	go func() {
+		defer e.snapWg.Done()
+		defer e.snapPending.Store(false)
+		// Re-check under the trigger: the burst that tripped this may
+		// already have been folded in by a racing explicit Snapshot.
+		if e.store.SinceSnapshot() < e.snapshotEvery {
+			return
+		}
+		if _, err := e.Snapshot(); err != nil {
+			log.Printf("engine: background snapshot: %v", err)
+		}
+	}()
+}

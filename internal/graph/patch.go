@@ -1,0 +1,139 @@
+package graph
+
+import "fmt"
+
+// ContentUpdate replaces the free-text content of one existing node.
+type ContentUpdate struct {
+	Node    NodeID
+	Content string
+}
+
+// Patch is an in-place edit of a graph: nodes appended, edge additions
+// and deletions, and content rewrites. It is the unit of live mutation
+// in the serving layer — a registered data graph evolves by patches
+// (pages added, links rewired, text edited) instead of being removed
+// and re-uploaded wholesale — and the unit the write-ahead log records
+// for crash recovery.
+//
+// Semantics, in application order:
+//
+//  1. AddNodes appends nodes; the i-th new node gets ID oldN + i, so a
+//     patch can wire its own additions.
+//  2. SetContent rewrites node contents (old or newly added nodes).
+//  3. DelEdges removes edges; deleting an absent edge is an error, so a
+//     mistyped delete surfaces instead of silently succeeding.
+//  4. AddEdges inserts edges; duplicates of surviving edges are
+//     tolerated (the adjacency normalisation dedups), so an add after a
+//     delete of the same edge re-creates it.
+type Patch struct {
+	AddNodes   []Node
+	SetContent []ContentUpdate
+	DelEdges   [][2]NodeID
+	AddEdges   [][2]NodeID
+}
+
+// Empty reports whether the patch changes nothing.
+func (p *Patch) Empty() bool {
+	return len(p.AddNodes) == 0 && len(p.SetContent) == 0 &&
+		len(p.DelEdges) == 0 && len(p.AddEdges) == 0
+}
+
+// Validate checks the patch against a graph of n nodes without applying
+// it: every referenced node must exist (counting the patch's own
+// additions) and no edge endpoint may be negative. Edge existence is
+// not checked here — DelEdges is validated during ApplyPatch, against
+// the state the deletes actually run on.
+func (p *Patch) Validate(n int) error {
+	total := n + len(p.AddNodes)
+	checkNode := func(what string, v NodeID) error {
+		if v < 0 || int(v) >= total {
+			return fmt.Errorf("graph: patch %s references node %d outside [0,%d)", what, v, total)
+		}
+		return nil
+	}
+	for _, cu := range p.SetContent {
+		if err := checkNode("set_content", cu.Node); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.DelEdges {
+		if err := checkNode("del_edges", e[0]); err != nil {
+			return err
+		}
+		if err := checkNode("del_edges", e[1]); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.AddEdges {
+		if err := checkNode("add_edges", e[0]); err != nil {
+			return err
+		}
+		if err := checkNode("add_edges", e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyPatch returns a new graph with the patch applied; the receiver
+// is not modified. Registered graphs are shared by concurrent readers
+// and cached closures, so mutation is copy-on-write: the serving
+// catalog swaps the returned graph in under its lock and invalidates
+// the derived state. Application is deterministic — replaying the same
+// patch against the same graph yields an identical graph, which is
+// what WAL recovery relies on.
+func (g *Graph) ApplyPatch(p *Patch) (*Graph, error) {
+	if err := p.Validate(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	ng := g.Clone()
+	for _, n := range p.AddNodes {
+		ng.AddNodeFull(n)
+	}
+	for _, cu := range p.SetContent {
+		ng.SetContent(cu.Node, cu.Content)
+	}
+	for _, e := range p.DelEdges {
+		if !ng.deleteEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("graph: patch deletes absent edge %d→%d", e[0], e[1])
+		}
+	}
+	for _, e := range p.AddEdges {
+		ng.AddEdge(e[0], e[1])
+	}
+	ng.Finish()
+	return ng, nil
+}
+
+// deleteEdge removes the directed edge (from, to) and reports whether
+// it existed. The graph must be clean (Clone returns clean graphs);
+// removal preserves sortedness, so the rows stay clean.
+func (g *Graph) deleteEdge(from, to NodeID) bool {
+	g.Finish()
+	if !removeSorted(&g.post[from], to) {
+		return false
+	}
+	removeSorted(&g.prev[to], from)
+	g.edges--
+	return true
+}
+
+// removeSorted deletes x from the sorted slice *s, reporting whether it
+// was present.
+func removeSorted(s *[]NodeID, x NodeID) bool {
+	row := *s
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(row) || row[lo] != x {
+		return false
+	}
+	*s = append(row[:lo], row[lo+1:]...)
+	return true
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApplyPatchBasics(t *testing.T) {
+	g := FromEdgeList([]string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	p := &Patch{
+		AddNodes:   []Node{{Label: "D", Weight: 2, Content: "new page"}},
+		SetContent: []ContentUpdate{{Node: 0, Content: "rewritten"}},
+		DelEdges:   [][2]NodeID{{2, 0}},
+		AddEdges:   [][2]NodeID{{2, 3}, {3, 0}},
+	}
+	ng, err := g.ApplyPatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver is untouched.
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("receiver mutated: %v", g)
+	}
+	if g.Content(0) != "" {
+		t.Fatalf("receiver content mutated: %q", g.Content(0))
+	}
+	if ng.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", ng.NumNodes())
+	}
+	if ng.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", ng.NumEdges())
+	}
+	if ng.HasEdge(2, 0) {
+		t.Fatal("deleted edge 2→0 survived")
+	}
+	if !ng.HasEdge(2, 3) || !ng.HasEdge(3, 0) {
+		t.Fatal("added edges missing")
+	}
+	if ng.Content(0) != "rewritten" {
+		t.Fatalf("content(0) = %q", ng.Content(0))
+	}
+	if ng.Label(3) != "D" || ng.Weight(3) != 2 || ng.Content(3) != "new page" {
+		t.Fatalf("added node wrong: %+v", ng.Node(3))
+	}
+	// Prev rows stay consistent with Post rows after deletion.
+	if got := ng.Prev(0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("prev(0) = %v, want [3]", got)
+	}
+}
+
+func TestApplyPatchValidation(t *testing.T) {
+	g := FromEdgeList([]string{"A", "B"}, [][2]int{{0, 1}})
+	cases := []struct {
+		name string
+		p    Patch
+	}{
+		{"add edge out of range", Patch{AddEdges: [][2]NodeID{{0, 5}}}},
+		{"add edge negative", Patch{AddEdges: [][2]NodeID{{-1, 0}}}},
+		{"del edge out of range", Patch{DelEdges: [][2]NodeID{{3, 0}}}},
+		{"del absent edge", Patch{DelEdges: [][2]NodeID{{1, 0}}}},
+		{"set content out of range", Patch{SetContent: []ContentUpdate{{Node: 9}}}},
+	}
+	for _, tc := range cases {
+		if _, err := g.ApplyPatch(&tc.p); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Edges may target the patch's own added nodes.
+	ng, err := g.ApplyPatch(&Patch{AddNodes: []Node{{Label: "C"}}, AddEdges: [][2]NodeID{{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.HasEdge(1, 2) {
+		t.Fatal("edge to added node missing")
+	}
+}
+
+func TestApplyPatchDeleteThenAdd(t *testing.T) {
+	g := FromEdgeList([]string{"A", "B"}, [][2]int{{0, 1}})
+	ng, err := g.ApplyPatch(&Patch{DelEdges: [][2]NodeID{{0, 1}}, AddEdges: [][2]NodeID{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.HasEdge(0, 1) {
+		t.Fatal("delete-then-add should re-create the edge")
+	}
+	if ng.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", ng.NumEdges())
+	}
+}
+
+func TestApplyPatchEmpty(t *testing.T) {
+	g := FromEdgeList([]string{"A", "B"}, [][2]int{{0, 1}})
+	p := &Patch{}
+	if !p.Empty() {
+		t.Fatal("zero patch not Empty")
+	}
+	ng, err := g.ApplyPatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, ng) {
+		t.Fatal("empty patch changed the graph")
+	}
+}
+
+// TestApplyPatchEquivalence quickchecks copy-on-write patching against
+// rebuilding the graph from scratch with the same final edge set.
+func TestApplyPatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(8)
+		g := New(n)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = string(rune('A' + i))
+			g.AddNode(labels[i])
+		}
+		type edge = [2]NodeID
+		present := map[edge]bool{}
+		for i := 0; i < n*2; i++ {
+			e := edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+			g.AddEdge(e[0], e[1])
+			present[e] = true
+		}
+		g.Finish()
+
+		var p Patch
+		add := 1 + rng.Intn(3)
+		for i := 0; i < add; i++ {
+			p.AddNodes = append(p.AddNodes, Node{Label: "N", Weight: 1})
+		}
+		total := n + add
+		// Delete a random subset of existing edges.
+		for e := range present {
+			if rng.Intn(3) == 0 {
+				p.DelEdges = append(p.DelEdges, e)
+				delete(present, e)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			e := edge{NodeID(rng.Intn(total)), NodeID(rng.Intn(total))}
+			p.AddEdges = append(p.AddEdges, e)
+			present[e] = true
+		}
+
+		got, err := g.ApplyPatch(&p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := New(total)
+		for v := 0; v < n; v++ {
+			want.AddNodeFull(g.Node(NodeID(v)))
+		}
+		for _, nd := range p.AddNodes {
+			want.AddNodeFull(nd)
+		}
+		for e := range present {
+			want.AddEdge(e[0], e[1])
+		}
+		want.Finish()
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: patched graph %v != rebuilt %v", trial, got, want)
+		}
+	}
+}

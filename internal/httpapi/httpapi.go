@@ -6,15 +6,19 @@
 //
 // Routes:
 //
-//	POST   /v1/graphs         register a data graph {"name": ..., "graph": {...}}
-//	GET    /v1/graphs         list registered graph names (sorted)
-//	GET    /v1/graphs/{name}  describe one graph (size, resident closure tier/bytes)
-//	DELETE /v1/graphs/{name}  drop a registered graph and its cached indexes
-//	POST   /v1/match          one match request
-//	POST   /v1/match/batch    {"requests": [...]} dispatched concurrently
-//	POST   /v1/search         rank the catalog against a pattern (top-k)
-//	GET    /v1/stats          engine + catalog counters (incl. index tiers)
-//	GET    /healthz           liveness
+//	POST   /v1/graphs          register a data graph {"name": ..., "graph": {...}}
+//	GET    /v1/graphs          list registered graph names (sorted)
+//	GET    /v1/graphs/{name}   describe one graph (size, resident closure tier/bytes)
+//	PATCH  /v1/graphs/{name}   apply a live edge/node patch (add_nodes, add_edges,
+//	                           del_edges, set_content); durable before acknowledged
+//	                           when the server runs with -store
+//	DELETE /v1/graphs/{name}   drop a registered graph and its cached indexes
+//	POST   /v1/match           one match request
+//	POST   /v1/match/batch     {"requests": [...]} dispatched concurrently
+//	POST   /v1/search          rank the catalog against a pattern (top-k)
+//	POST   /v1/admin/snapshot  compact the WAL into a fresh snapshot (store only)
+//	GET    /v1/stats           engine + catalog + store counters
+//	GET    /healthz            liveness
 package httpapi
 
 import (
@@ -26,6 +30,7 @@ import (
 	"graphmatch/internal/catalog"
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/store"
 )
 
 // DefaultXi is applied when a match request omits "xi". It matches the
@@ -54,6 +59,46 @@ type RegisterResponse struct {
 type RemoveResponse struct {
 	Name    string `json:"name"`
 	Removed bool   `json:"removed"`
+}
+
+// ContentPatch is one node-content rewrite inside a PatchRequest.
+type ContentPatch struct {
+	Node    int32  `json:"node"`
+	Content string `json:"content"`
+}
+
+// PatchNode is one appended node inside a PatchRequest.
+type PatchNode struct {
+	Label   string  `json:"label"`
+	Weight  float64 `json:"weight,omitempty"`
+	Content string  `json:"content,omitempty"`
+}
+
+// PatchRequest is the body of PATCH /v1/graphs/{name}: a live edit of
+// a registered graph. Semantics follow graph.Patch — added nodes get
+// the next IDs (so add_edges may reference them), deletes run before
+// adds, deleting an absent edge is an error. At least one field must
+// be non-empty.
+type PatchRequest struct {
+	AddNodes   []PatchNode    `json:"add_nodes,omitempty"`
+	SetContent []ContentPatch `json:"set_content,omitempty"`
+	DelEdges   [][2]int32     `json:"del_edges,omitempty"`
+	AddEdges   [][2]int32     `json:"add_edges,omitempty"`
+}
+
+// PatchResponse acknowledges a PATCH: the graph's new size. When the
+// response arrives the patch is durable (if the server has a store)
+// and the graph is already matchable and searchable in patched form.
+type PatchResponse struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// SnapshotResponse is the body of POST /v1/admin/snapshot: the store
+// counters after the compaction.
+type SnapshotResponse struct {
+	Store store.Stats `json:"store"`
 }
 
 // MatchRequest is the body of POST /v1/match and the element type of
@@ -155,10 +200,12 @@ type SearchResponse struct {
 	Stats        SearchStatsResponse `json:"stats"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Store is nil when the
+// server runs without persistence.
 type StatsResponse struct {
 	Engine  engine.Stats `json:"engine"`
 	Catalog catalogStats `json:"catalog"`
+	Store   *store.Stats `json:"store,omitempty"`
 }
 
 // catalogStats extends catalog.Stats with the derived hit rate so
@@ -179,7 +226,9 @@ func New(e *engine.Engine) http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.registerGraph)
 	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.describeGraph)
+	mux.HandleFunc("PATCH /v1/graphs/{name}", s.patchGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.removeGraph)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.snapshot)
 	mux.HandleFunc("POST /v1/match", s.match)
 	mux.HandleFunc("POST /v1/match/batch", s.matchBatch)
 	mux.HandleFunc("POST /v1/search", s.search)
@@ -234,6 +283,33 @@ func (s *server) describeGraph(w http.ResponseWriter, r *http.Request) {
 		out.MaxDeg = st.MaxDeg
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) patchGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req PatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	// Validation — empty patch, bad node IDs, absent edges — lives in
+	// catalog.Apply and surfaces as ErrBadPatch (400 via statusFor).
+	g, err := s.eng.ApplyPatch(name, req.toPatch())
+	if err != nil {
+		// catalog.ErrBadPatch → 400, ErrNotFound → 404 via statusFor;
+		// anything else (store I/O) is a genuine 500.
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PatchResponse{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+}
+
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.Snapshot()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Store: st})
 }
 
 func (s *server) removeGraph(w http.ResponseWriter, r *http.Request) {
@@ -355,10 +431,32 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.Catalog().Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	out := StatsResponse{
 		Engine:  s.eng.Stats(),
 		Catalog: catalogStats{Stats: cs, HitRate: cs.HitRate()},
-	})
+	}
+	if st, ok := s.eng.StoreStats(); ok {
+		out.Store = &st
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// toPatch converts the wire patch to the graph-level one.
+func (pr PatchRequest) toPatch() *graph.Patch {
+	p := &graph.Patch{}
+	for _, n := range pr.AddNodes {
+		p.AddNodes = append(p.AddNodes, graph.Node{Label: n.Label, Weight: n.Weight, Content: n.Content})
+	}
+	for _, cu := range pr.SetContent {
+		p.SetContent = append(p.SetContent, graph.ContentUpdate{Node: graph.NodeID(cu.Node), Content: cu.Content})
+	}
+	for _, e := range pr.DelEdges {
+		p.DelEdges = append(p.DelEdges, [2]graph.NodeID{graph.NodeID(e[0]), graph.NodeID(e[1])})
+	}
+	for _, e := range pr.AddEdges {
+		p.AddEdges = append(p.AddEdges, [2]graph.NodeID{graph.NodeID(e[0]), graph.NodeID(e[1])})
+	}
+	return p
 }
 
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
@@ -498,8 +596,12 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, catalog.ErrDuplicate):
 		return http.StatusConflict
+	case errors.Is(err, catalog.ErrBadPatch):
+		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrExactLimit):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrNoStore):
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}

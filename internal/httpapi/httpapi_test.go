@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -663,5 +664,165 @@ func TestSearchLargeCatalogDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(names(brute), names(first)) {
 		t.Fatalf("brute %v != prefiltered %v", names(brute), names(first))
+	}
+}
+
+// doJSON issues a request with a JSON body and an arbitrary method
+// (PATCH, DELETE with body, ...).
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestPatchGraphEndpoint drives a live mutation over HTTP: the patch
+// changes match results immediately, without re-registering.
+func TestPatchGraphEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Pattern A→C matches data A→B→C via the path A→B→C (p-hom maps
+	// pattern edges to paths), decided exactly.
+	pattern := graph.FromEdgeList([]string{"A", "C"}, [][2]int{{0, 1}})
+	data := graph.FromEdgeList([]string{"A", "B", "C"}, [][2]int{{0, 1}, {1, 2}})
+	register(t, ts, "chain", data)
+
+	match := func() MatchResponse {
+		resp, body := postJSON(t, ts.URL+"/v1/match", MatchRequest{
+			Pattern: pattern, Graph: "chain", Algo: "decide",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match: %d %s", resp.StatusCode, body)
+		}
+		var out MatchResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if before := match(); !before.Holds {
+		t.Fatalf("pattern should hold before the patch: %+v", before)
+	}
+
+	// Cut B→C: the path from A to any C-labelled node is gone.
+	resp, body := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/chain", PatchRequest{
+		DelEdges: [][2]int32{{1, 2}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: %d %s", resp.StatusCode, body)
+	}
+	var pr PatchResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Nodes != 3 || pr.Edges != 1 {
+		t.Fatalf("patch response: %+v", pr)
+	}
+	if after := match(); after.Holds {
+		t.Fatalf("pattern still holds after cutting B→C: %+v", after)
+	}
+
+	// Patch in a new C-labelled page linked straight from A: the
+	// pattern holds again through the added node.
+	resp, body = doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/chain", PatchRequest{
+		AddNodes: []PatchNode{{Label: "C", Weight: 1}},
+		AddEdges: [][2]int32{{0, 3}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-add patch: %d %s", resp.StatusCode, body)
+	}
+	if after := match(); !after.Holds {
+		t.Fatalf("pattern should hold again through the added node: %+v", after)
+	}
+}
+
+func TestPatchGraphEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	cases := []struct {
+		name   string
+		target string
+		req    PatchRequest
+		status int
+	}{
+		{"empty patch", "store", PatchRequest{}, http.StatusBadRequest},
+		{"unknown graph", "nope", PatchRequest{DelEdges: [][2]int32{{0, 1}}}, http.StatusNotFound},
+		{"absent edge", "store", PatchRequest{DelEdges: [][2]int32{{11, 0}}}, http.StatusBadRequest},
+		{"node out of range", "store", PatchRequest{AddEdges: [][2]int32{{0, 99}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := doJSON(t, http.MethodPatch, ts.URL+"/v1/graphs/"+tc.target, tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d (want %d), body %s", tc.name, resp.StatusCode, tc.status, body)
+		}
+	}
+}
+
+// TestSnapshotEndpoint exercises POST /v1/admin/snapshot against a
+// store-backed engine, and the 409 on a store-less one.
+func TestSnapshotEndpoint(t *testing.T) {
+	e, err := engine.Open(engine.Options{Workers: 2, StorePath: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	ts := httptest.NewServer(New(e))
+	t.Cleanup(ts.Close)
+
+	_, data := storeGraphs()
+	register(t, ts, "store", data)
+
+	resp, body := postJSON(t, ts.URL+"/v1/admin/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+	var sr SnapshotResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Store.Snapshots != 1 || sr.Store.SnapshotSeq == 0 {
+		t.Fatalf("snapshot stats: %+v", sr.Store)
+	}
+
+	// /v1/stats now reports the store section.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store == nil || stats.Store.LastSeq == 0 {
+		t.Fatalf("stats missing store section: %+v", stats.Store)
+	}
+
+	// Without a store the endpoint conflicts.
+	ts2, _ := newTestServer(t)
+	resp, body = postJSON(t, ts2.URL+"/v1/admin/snapshot", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot without store: %d %s", resp.StatusCode, body)
 	}
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable; the store still
+// works, it just cannot detect a concurrent opener.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+// unlockDir matches lockDir.
+func unlockDir(f *os.File) {}

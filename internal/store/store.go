@@ -1,0 +1,823 @@
+// Package store is the durability subsystem of the serving layer: an
+// append-only write-ahead log of catalog mutations (graph register,
+// remove, and in-place patch) plus periodic compacted snapshots, both
+// in a versioned binary format with per-record checksums. A phomd
+// restart replays snapshot + WAL to rebuild the catalog — closure
+// tiers and the search index rewarm through the ordinary registration
+// path — instead of losing every registered graph.
+//
+// On-disk layout (one directory per store):
+//
+//	snapshot.snap       compacted state: every graph at WAL position S
+//	wal-<startSeq>.log  ordered WAL segments of ops with seq > their start
+//	snapshot.tmp        transient; a crash mid-snapshot leaves it behind
+//	                    and open removes it
+//
+// Every mutation is assigned a monotonically increasing sequence
+// number, appended to the current WAL segment, and fsynced before the
+// mutation is acknowledged — an acknowledged op survives kill -9.
+// Snapshots rotate the WAL first (a new segment opens while the
+// registry is locked, so the snapshot state and its recorded sequence
+// number agree exactly), then write the full state to a temp file and
+// atomically rename it in; old segments are deleted only after the
+// rename is durable. A crash at any point leaves either the old
+// snapshot + old segments or the new snapshot + the new segment, both
+// complete.
+//
+// Recovery trusts checksums, not file sizes: open scans every segment
+// record by record, truncates the first torn or checksum-corrupt
+// record (and drops any later, now-unreachable segments), and replay
+// skips records at or below the snapshot's sequence number, so a crash
+// between snapshot rename and segment deletion does not double-apply.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"graphmatch/internal/graph"
+)
+
+const (
+	walMagic      = "PHOMWAL1"
+	snapshotMagic = "PHOMSNP1"
+	snapshotName  = "snapshot.snap"
+	snapshotTmp   = "snapshot.tmp"
+	walPrefix     = "wal-"
+	walSuffix     = ".log"
+)
+
+// syncWrites gates every fsync. Always true in production; the fuzzer
+// turns it off because its throwaway stores need throughput, not
+// durability.
+var syncWrites = true
+
+// sync fsyncs f when durability is on.
+func syncFile(f *os.File) error {
+	if !syncWrites {
+		return nil
+	}
+	return f.Sync()
+}
+
+// OpKind discriminates WAL records.
+type OpKind uint8
+
+// The logged mutation kinds, mirroring the catalog's mutation surface.
+const (
+	OpRegister OpKind = 1
+	OpRemove   OpKind = 2
+	OpPatch    OpKind = 3
+)
+
+// Op is one logged catalog mutation. Graph is set for OpRegister,
+// Patch for OpPatch.
+type Op struct {
+	Seq   uint64
+	Kind  OpKind
+	Name  string
+	Graph *graph.Graph
+	Patch *graph.Patch
+}
+
+// Stats is a point-in-time snapshot of the store, served alongside the
+// engine and catalog counters on /v1/stats.
+type Stats struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// LastSeq is the sequence number of the newest durable op.
+	LastSeq uint64 `json:"last_seq"`
+	// SnapshotSeq is the WAL position of the current snapshot (0 when
+	// none exists); ops above it live only in WAL segments.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Appended counts ops logged since the store was opened.
+	Appended uint64 `json:"appended"`
+	// SinceSnapshot counts ops logged since the last snapshot — the
+	// counter Options.SnapshotEvery triggers on.
+	SinceSnapshot int `json:"since_snapshot"`
+	// Snapshots counts snapshots written since the store was opened.
+	Snapshots uint64 `json:"snapshots"`
+	// Segments is the number of live WAL segment files.
+	Segments int `json:"segments"`
+	// WALBytes is the total size of the live WAL segments.
+	WALBytes int64 `json:"wal_bytes"`
+	// Recovered counts torn or corrupt WAL tails dropped during open —
+	// non-zero after a recovery that lost unacknowledged records.
+	Recovered int `json:"recovered"`
+}
+
+// Store is one open WAL + snapshot directory. It is safe for
+// concurrent use; Append serialises internally. Replay must run before
+// the first Append (the engine replays during boot, before it installs
+// the catalog persister).
+type Store struct {
+	dir string
+
+	mu            sync.Mutex
+	seg           *os.File // current append segment
+	segPath       string
+	segRecords    int      // records in the current append segment
+	segSize       int64    // bytes in the current append segment
+	segs          []string // live segment paths, append order; last is current
+	sealed        []string // rotated-out segments awaiting snapshot deletion
+	failed        error    // sticky fault: set when the log's tail state is unknown
+	seq           uint64   // last durable sequence number
+	snapshotSeq   uint64
+	appended      uint64
+	sinceSnapshot int
+	snapshots     uint64
+	walBytes      int64
+	recovered     int
+	closed        bool
+
+	lock *os.File // exclusive flock on dir/LOCK, held until Close
+}
+
+// Open opens (creating if needed) the store directory, validates every
+// WAL segment record by record, and truncates torn or corrupt tails so
+// the log ends at the last intact record. The returned store is ready
+// for Replay and Append.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One process at a time: a live phomd and an offline compaction on
+	// the same directory would append from independent sequence
+	// counters and delete each other's segments.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// A crash mid-snapshot leaves the temp file; it was never renamed,
+	// so it is dead weight.
+	_ = os.Remove(filepath.Join(dir, snapshotTmp))
+
+	s := &Store{dir: dir, lock: lock}
+	if err := s.loadSnapshotHeader(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	if err := s.scanSegments(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	if err := s.openAppendSegment(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	// The compaction trigger counts ops beyond the snapshot; a restart
+	// must resume that count from the recovered WAL tail, or a
+	// read-mostly server would sit on an oversized log until
+	// SnapshotEvery *new* mutations arrive.
+	s.sinceSnapshot = int(s.seq - s.snapshotSeq)
+	return s, nil
+}
+
+// loadSnapshotHeader reads just the snapshot's header record to learn
+// its WAL position; the graphs are decoded later, by Replay.
+func (s *Store) loadSnapshotHeader() error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	seq, _, err := readSnapshotHeader(f)
+	if err != nil {
+		return fmt.Errorf("store: snapshot %s: %w", snapshotName, err)
+	}
+	s.snapshotSeq = seq
+	s.seq = seq
+	return nil
+}
+
+// readSnapshotHeader consumes the magic and header record from r.
+func readSnapshotHeader(r io.Reader) (lastSeq uint64, count int, err error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, corruptf("short magic: %v", err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return 0, 0, corruptf("bad magic %q", magic[:])
+	}
+	payload, err := readRecord(r)
+	if err != nil {
+		return 0, 0, corruptf("header record: %v", err)
+	}
+	d := &dec{buf: payload}
+	if lastSeq, err = d.u64(); err != nil {
+		return 0, 0, err
+	}
+	if count, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	return lastSeq, count, nil
+}
+
+// scanSegments lists the WAL segments in order and walks every record,
+// validating framing, checksums, and sequence monotonicity. The first
+// damaged record ends the log: the segment is truncated there and
+// later segments — unreachable past the hole — are deleted. The scan
+// also recovers the last durable sequence number.
+func (s *Store) scanSegments() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, walPrefix+"*"+walSuffix))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names) // %016x names sort in numeric = sequence order
+
+	// prevSeq enforces strictly increasing sequence numbers across the
+	// whole log (within and across segments): a record duplicated or
+	// spliced out of order would otherwise carry a valid checksum, be
+	// replayed twice, and break FoldState. Note it starts at 0, not the
+	// snapshot's seq — segments sealed into the snapshot but not yet
+	// deleted legitimately hold records below it.
+	var prevSeq uint64
+	prevRecords := 0
+	for i, path := range names {
+		good, lastSeq, records, intact, err := scanSegment(path, prevSeq)
+		if err != nil {
+			return err
+		}
+		s.walBytes += good
+		if lastSeq > s.seq {
+			s.seq = lastSeq
+		}
+		s.segs = append(s.segs, path)
+		s.segRecords = records
+		if intact {
+			if records > 0 {
+				prevSeq = lastSeq
+			}
+			prevRecords = records
+			continue
+		}
+		// Damaged record: drop everything from it on.
+		s.recovered++
+		if good == 0 {
+			// The header itself was torn: the file has no valid magic.
+			// Truncating would leave a magicless segment that accepts
+			// appends and then reads as empty on the next open — silently
+			// discarding acknowledged ops. Delete it; the append target
+			// falls back to the previous segment (whose record count must
+			// be restored) or is recreated with a fresh header.
+			s.segs = s.segs[:len(s.segs)-1]
+			s.segRecords = prevRecords
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: removing torn %s: %w", path, err)
+			}
+		} else if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("store: truncating %s: %w", path, err)
+		}
+		for _, later := range names[i+1:] {
+			s.recovered++
+			if err := os.Remove(later); err != nil {
+				return fmt.Errorf("store: removing %s: %w", later, err)
+			}
+		}
+		break
+	}
+	return nil
+}
+
+// scanSegment walks one segment. Records must carry strictly
+// increasing sequence numbers continuing from prevSeq (the last seq of
+// the preceding segment); a duplicate or out-of-order record is
+// damage, like a bad checksum. It returns the byte offset of the end
+// of the last intact record, the last sequence number seen, how many
+// intact records precede any damage, and whether the segment was fully
+// intact.
+func scanSegment(path string, prevSeq uint64) (good int64, lastSeq uint64, records int, intact bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		// A header torn mid-write: the whole segment is empty.
+		return 0, 0, 0, false, nil
+	}
+	good = int64(len(magic))
+	lastSeq = prevSeq
+	for {
+		payload, err := readRecord(f)
+		if err == io.EOF {
+			return good, lastSeq, records, true, nil
+		}
+		if err == io.ErrUnexpectedEOF || IsCorrupt(err) {
+			return good, lastSeq, records, false, nil
+		}
+		if err != nil {
+			return 0, 0, 0, false, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		// decodeOp re-validates structure; a record whose checksum holds
+		// but whose payload cannot decode — or whose sequence number does
+		// not advance — is treated as the end of the intact prefix, like
+		// a checksum failure.
+		op, derr := decodeOp(payload)
+		if derr != nil || op.Seq <= lastSeq {
+			return good, lastSeq, records, false, nil
+		}
+		good += recordSize(payload)
+		lastSeq = op.Seq
+		records++
+	}
+}
+
+// openAppendSegment opens the last live segment for appending, or
+// starts a fresh one when the directory has none.
+func (s *Store) openAppendSegment() error {
+	if len(s.segs) == 0 {
+		return s.startSegment()
+	}
+	path := s.segs[len(s.segs)-1]
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.seg, s.segPath, s.segSize = f, path, fi.Size()
+	return nil
+}
+
+// startSegment creates and syncs a new WAL segment named after the
+// next sequence number, making it the append target. Callers hold s.mu
+// (or have exclusive access during Open).
+func (s *Store) startSegment() error {
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", walPrefix, s.seq+1, walSuffix))
+	f, err := s.createSegment(path)
+	if err != nil {
+		return err
+	}
+	s.seg, s.segPath, s.segSize = f, path, int64(len(walMagic))
+	s.segRecords = 0
+	s.segs = append(s.segs, path)
+	s.walBytes += int64(len(walMagic))
+	return nil
+}
+
+// createSegment creates and syncs a segment file without touching the
+// store's state, so a failure (disk full) leaves the current append
+// target untouched.
+func (s *Store) createSegment(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Replay streams the persisted state to apply in its durable order:
+// first every snapshot graph (as OpRegister with the snapshot's
+// sequence number), then every WAL op newer than the snapshot. An
+// apply error aborts the replay and is returned. Replay must complete
+// before the first Append.
+func (s *Store) Replay(apply func(Op) error) error {
+	if err := s.replaySnapshot(apply); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	segs := append([]string(nil), s.segs...)
+	snapSeq := s.snapshotSeq
+	s.mu.Unlock()
+	for _, path := range segs {
+		if err := replaySegment(path, snapSeq, apply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySnapshot decodes the snapshot's graphs and feeds them to apply.
+func (s *Store) replaySnapshot(apply func(Op) error) error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	lastSeq, count, err := readSnapshotHeader(f)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	for i := 0; i < count; i++ {
+		payload, err := readRecord(f)
+		if err != nil {
+			return fmt.Errorf("store: snapshot graph %d/%d: %w", i+1, count, err)
+		}
+		d := &dec{buf: payload}
+		name, err := d.str()
+		if err != nil {
+			return fmt.Errorf("store: snapshot graph %d/%d: %w", i+1, count, err)
+		}
+		g, err := decodeGraph(d)
+		if err != nil {
+			return fmt.Errorf("store: snapshot graph %q: %w", name, err)
+		}
+		if err := apply(Op{Seq: lastSeq, Kind: OpRegister, Name: name, Graph: g}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment feeds one segment's ops newer than snapSeq to apply.
+// The segment was validated (and possibly truncated) at open, so any
+// damage here is an I/O failure, not a recoverable tail.
+func replaySegment(path string, snapSeq uint64, apply func(Op) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // fully truncated segment: no records survived
+		}
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	for {
+		payload, err := readRecord(f)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: replaying %s: %w", path, err)
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return fmt.Errorf("store: replaying %s: %w", path, err)
+		}
+		if op.Seq <= snapSeq {
+			continue // already folded into the snapshot
+		}
+		if err := apply(op); err != nil {
+			return err
+		}
+	}
+}
+
+// Append assigns the next sequence number to op, writes it to the
+// current WAL segment, and fsyncs before returning — when Append
+// returns nil the op is durable. The engine calls it through the
+// catalog's persister hook, under the catalog lock, so the log order
+// is exactly the mutation order.
+func (s *Store) Append(op Op) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	if s.failed != nil {
+		return 0, fmt.Errorf("store: failed: %w", s.failed)
+	}
+	op.Seq = s.seq + 1
+	payload, err := encodeOp(op)
+	if err != nil {
+		return 0, err
+	}
+	// A failed (= vetoed) append must leave the segment exactly as it
+	// was: partial record bytes would make recovery truncate away every
+	// LATER acknowledged op, and a fully written but unacknowledged
+	// record would replay a mutation the caller was told failed. Roll
+	// the file back to the pre-write size; if even that fails, the tail
+	// state is unknown and the store goes sticky-failed rather than
+	// risk acknowledging ops after garbage.
+	rollback := func(cause error) (uint64, error) {
+		if terr := s.seg.Truncate(s.segSize); terr != nil {
+			s.failed = fmt.Errorf("rollback of %s to %d after %v: %w", s.segPath, s.segSize, cause, terr)
+			return 0, fmt.Errorf("store: %w", s.failed)
+		}
+		return 0, cause
+	}
+	if err := writeRecord(s.seg, payload); err != nil {
+		return rollback(fmt.Errorf("store: appending to %s: %w", s.segPath, err))
+	}
+	if err := syncFile(s.seg); err != nil {
+		return rollback(fmt.Errorf("store: syncing %s: %w", s.segPath, err))
+	}
+	s.seq = op.Seq
+	s.appended++
+	s.sinceSnapshot++
+	s.segRecords++
+	s.segSize += recordSize(payload)
+	s.walBytes += recordSize(payload)
+	return op.Seq, nil
+}
+
+// Rotate seals the current WAL segment and starts a new one, returning
+// the last durable sequence number and the sealed segments. It is the
+// first half of a snapshot and must run while the registry cannot
+// mutate (the engine calls it inside catalog.Export, under the catalog
+// lock) so the exported state corresponds exactly to lastSeq.
+func (s *Store) Rotate() (lastSeq uint64, sealed []string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, fmt.Errorf("store: closed")
+	}
+	if s.segRecords == 0 {
+		// The current segment holds nothing: keep appending to it and
+		// seal only the earlier segments. This also avoids a name
+		// collision — a fresh segment would be named after the same
+		// next sequence number the empty one already claims.
+		s.sealed = append(s.sealed, s.segs[:len(s.segs)-1]...)
+		s.segs = s.segs[len(s.segs)-1:]
+		return s.seq, append([]string(nil), s.sealed...), nil
+	}
+	// Create the successor before closing the current segment, so a
+	// creation failure (disk full) leaves the store fully serviceable —
+	// the snapshot attempt fails, appends continue, a later attempt
+	// retries the rotation.
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", walPrefix, s.seq+1, walSuffix))
+	f, err := s.createSegment(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := s.seg.Close(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return 0, nil, fmt.Errorf("store: sealing %s: %w", s.segPath, err)
+	}
+	// Sealed segments accumulate until a snapshot actually deletes them:
+	// if this snapshot attempt fails after the rotation (disk full, say),
+	// the next attempt's sealed list still carries these files, so they
+	// are reclaimed instead of orphaned until restart.
+	s.sealed = append(s.sealed, s.segs...)
+	s.seg, s.segPath, s.segSize = f, path, int64(len(walMagic))
+	s.segRecords = 0
+	s.segs = []string{path}
+	s.walBytes += int64(len(walMagic))
+	return s.seq, append([]string(nil), s.sealed...), nil
+}
+
+// WriteSnapshot persists state — the full registry at WAL position
+// lastSeq, as returned by Rotate — and then deletes the sealed
+// segments its ops came from. The snapshot is written to a temp file,
+// fsynced, and renamed over the previous snapshot, so a crash leaves
+// either the old snapshot (sealed segments still present) or the new
+// one (sealed segments' ops all at or below lastSeq, skipped by
+// replay); both recover exactly.
+func (s *Store) WriteSnapshot(state map[string]*graph.Graph, lastSeq uint64, sealed []string) error {
+	names := make([]string, 0, len(state))
+	for n := range state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	tmpPath := filepath.Join(s.dir, snapshotTmp)
+	f, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	werr := func() error {
+		defer f.Close()
+		if _, err := f.Write([]byte(snapshotMagic)); err != nil {
+			return err
+		}
+		hdr := &enc{}
+		hdr.u64(lastSeq)
+		hdr.uvarint(len(names))
+		if err := writeRecord(f, hdr.buf); err != nil {
+			return err
+		}
+		for _, name := range names {
+			e := &enc{buf: make([]byte, 0, 1024)}
+			e.str(name)
+			encodeGraph(e, state[name])
+			if err := writeRecord(f, e.buf); err != nil {
+				return err
+			}
+		}
+		return syncFile(f)
+	}()
+	if werr != nil {
+		return fmt.Errorf("store: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The rename is durable: the sealed segments' ops are all ≤ lastSeq
+	// and would be skipped by replay anyway. Reclaim them.
+	var sealedBytes int64
+	deleted := make(map[string]bool, len(sealed))
+	for _, path := range sealed {
+		if fi, err := os.Stat(path); err == nil {
+			sealedBytes += fi.Size()
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: removing sealed %s: %w", path, err)
+		}
+		deleted[path] = true
+	}
+	s.mu.Lock()
+	s.snapshotSeq = lastSeq
+	s.snapshots++
+	// Ops may have been appended while the snapshot was encoding; the
+	// exact count of not-yet-folded ops is the sequence distance, not 0.
+	s.sinceSnapshot = int(s.seq - lastSeq)
+	s.walBytes -= sealedBytes
+	kept := s.sealed[:0]
+	for _, path := range s.sealed {
+		if !deleted[path] {
+			kept = append(kept, path)
+		}
+	}
+	s.sealed = kept
+	s.mu.Unlock()
+	return nil
+}
+
+// SinceSnapshot reports how many ops were appended after the last
+// snapshot — the engine's SnapshotEvery trigger reads it after each
+// mutation.
+func (s *Store) SinceSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnapshot
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:           s.dir,
+		LastSeq:       s.seq,
+		SnapshotSeq:   s.snapshotSeq,
+		Appended:      s.appended,
+		SinceSnapshot: s.sinceSnapshot,
+		Snapshots:     s.snapshots,
+		Segments:      len(s.segs) + len(s.sealed),
+		WALBytes:      s.walBytes,
+		Recovered:     s.recovered,
+	}
+}
+
+// Close fsyncs and closes the append segment. Appends after Close fail;
+// Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	defer unlockDir(s.lock)
+	if err := syncFile(s.seg); err != nil {
+		s.seg.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Abandon simulates a crash: it drops the append segment without the
+// final sync and releases the directory lock, leaving the files
+// exactly as kill -9 would (every acknowledged append is already
+// fsynced, so nothing owed is lost — that is the durability contract
+// under test). Appends after Abandon fail. Real code paths use Close.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	_ = s.seg.Close()
+	unlockDir(s.lock)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := syncFile(d); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// FoldState replays the store into an in-memory registry, applying
+// every op semantically: the result maps each surviving name to its
+// final graph (registers replayed, patches applied in order, removed
+// names absent). Boot-time recovery consumes this instead of pushing
+// every op through the live catalog — a graph patched a thousand times
+// gets one closure build, not a thousand — and offline compaction
+// snapshots it directly. replayed counts the WAL ops applied on top of
+// the snapshot. FoldState must run before the first Append.
+func (s *Store) FoldState() (state map[string]*graph.Graph, replayed int, err error) {
+	s.mu.Lock()
+	snapSeq := s.snapshotSeq
+	s.mu.Unlock()
+	state = make(map[string]*graph.Graph)
+	err = s.Replay(func(op Op) error {
+		switch op.Kind {
+		case OpRegister:
+			if _, dup := state[op.Name]; dup {
+				return fmt.Errorf("store: duplicate register of %q at seq %d", op.Name, op.Seq)
+			}
+			state[op.Name] = op.Graph
+		case OpRemove:
+			if _, ok := state[op.Name]; !ok {
+				return fmt.Errorf("store: remove of unknown graph %q at seq %d", op.Name, op.Seq)
+			}
+			delete(state, op.Name)
+		case OpPatch:
+			g, ok := state[op.Name]
+			if !ok {
+				return fmt.Errorf("store: patch for unknown graph %q at seq %d", op.Name, op.Seq)
+			}
+			ng, err := g.ApplyPatch(op.Patch)
+			if err != nil {
+				return fmt.Errorf("store: replaying patch for %q at seq %d: %w", op.Name, op.Seq, err)
+			}
+			state[op.Name] = ng
+		default:
+			return fmt.Errorf("store: unknown op kind %d at seq %d", op.Kind, op.Seq)
+		}
+		if op.Seq > snapSeq {
+			replayed++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return state, replayed, nil
+}
+
+// CompactInfo reports what an offline compaction did.
+type CompactInfo struct {
+	// Graphs is the number of graphs in the written snapshot.
+	Graphs int
+	// LastSeq is the WAL position the snapshot captures.
+	LastSeq uint64
+	// ReplayedOps is the number of WAL ops folded in.
+	ReplayedOps int
+}
+
+// Compact is the offline compaction behind `phom compact -store DIR`:
+// it replays the store into memory, writes a fresh snapshot, and
+// deletes the replayed WAL segments — run it while the server is down
+// to bound the next boot's replay work. The store must not be open
+// elsewhere.
+func Compact(dir string) (CompactInfo, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return CompactInfo{}, err
+	}
+	defer s.Close()
+
+	state, ops, err := s.FoldState()
+	if err != nil {
+		return CompactInfo{}, err
+	}
+	lastSeq, sealed, err := s.Rotate()
+	if err != nil {
+		return CompactInfo{}, err
+	}
+	if err := s.WriteSnapshot(state, lastSeq, sealed); err != nil {
+		return CompactInfo{}, err
+	}
+	return CompactInfo{Graphs: len(state), LastSeq: lastSeq, ReplayedOps: ops}, nil
+}

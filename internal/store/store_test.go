@@ -1,0 +1,628 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+// testGraph builds a small deterministic graph.
+func testGraph(seed int) *graph.Graph {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := 3 + rng.Intn(6)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNodeFull(graph.Node{
+			Label:   fmt.Sprintf("L%d", rng.Intn(4)),
+			Weight:  1 + float64(rng.Intn(3)),
+			Content: fmt.Sprintf("content of node %d in graph %d", i, seed),
+		})
+	}
+	for i := 0; i < n*2; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g.Finish()
+	return g
+}
+
+// replayAll collects every op a fresh open replays.
+func replayAll(t *testing.T, dir string) []Op {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ops []Op
+	if err := s.Replay(func(op Op) error { ops = append(ops, op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := testGraph(1), testGraph(2)
+	patch := &graph.Patch{
+		AddNodes:   []graph.Node{{Label: "new", Weight: 1, Content: "fresh page"}},
+		SetContent: []graph.ContentUpdate{{Node: 0, Content: "edited"}},
+		AddEdges:   [][2]graph.NodeID{{0, 1}},
+	}
+	for i, op := range []Op{
+		{Kind: OpRegister, Name: "a", Graph: g1},
+		{Kind: OpRegister, Name: "b", Graph: g2},
+		{Kind: OpPatch, Name: "a", Patch: patch},
+		{Kind: OpRemove, Name: "b"},
+	} {
+		seq, err := s.Append(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := replayAll(t, dir)
+	if len(ops) != 4 {
+		t.Fatalf("replayed %d ops, want 4", len(ops))
+	}
+	if ops[0].Kind != OpRegister || ops[0].Name != "a" || !graph.Equal(ops[0].Graph, g1) {
+		t.Fatalf("op 0 mismatch: %+v", ops[0])
+	}
+	if !graph.Equal(ops[1].Graph, g2) {
+		t.Fatal("op 1 graph mismatch")
+	}
+	p := ops[2].Patch
+	if ops[2].Kind != OpPatch || len(p.AddNodes) != 1 || p.AddNodes[0].Content != "fresh page" ||
+		len(p.SetContent) != 1 || p.SetContent[0].Content != "edited" ||
+		len(p.AddEdges) != 1 || p.AddEdges[0] != [2]graph.NodeID{0, 1} || len(p.DelEdges) != 0 {
+		t.Fatalf("op 2 patch mismatch: %+v", p)
+	}
+	if ops[3].Kind != OpRemove || ops[3].Name != "b" {
+		t.Fatalf("op 3 mismatch: %+v", ops[3])
+	}
+}
+
+// appendN opens a store at dir and appends n register ops.
+func appendN(t *testing.T, dir string, n int) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(Op{Kind: OpRegister, Name: fmt.Sprintf("g%02d", i), Graph: testGraph(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walPath returns the single live WAL segment.
+func walPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"+walSuffix))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+	return segs[0]
+}
+
+func TestRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 5)
+	path := walPath(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop 3 bytes off the last record: a torn tail write.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Recovered; got != 1 {
+		t.Fatalf("Recovered = %d, want 1", got)
+	}
+	if got := s.Stats().LastSeq; got != 4 {
+		t.Fatalf("LastSeq = %d, want 4", got)
+	}
+	var ops []Op
+	if err := s.Replay(func(op Op) error { ops = append(ops, op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("replayed %d ops after torn tail, want 4", len(ops))
+	}
+	// The store keeps serving: the next append reuses the truncated
+	// segment and lands at the recovered position.
+	seq, err := s.Append(Op{Kind: OpRemove, Name: "g00"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("post-recovery seq = %d, want 5", seq)
+	}
+	s.Close()
+	if got := len(replayAll(t, dir)); got != 5 {
+		t.Fatalf("replayed %d ops after recovery append, want 5", got)
+	}
+}
+
+func TestRecoveryCorruptChecksum(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 5)
+	path := walPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the file: some record's payload no
+	// longer matches its checksum, and everything from that record on is
+	// dropped.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", st.Recovered)
+	}
+	if st.LastSeq >= 5 {
+		t.Fatalf("LastSeq = %d, want < 5 after mid-file corruption", st.LastSeq)
+	}
+	var ops []Op
+	if err := s.Replay(func(op Op) error { ops = append(ops, op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(ops)) != st.LastSeq {
+		t.Fatalf("replayed %d ops, want %d (the intact prefix)", len(ops), st.LastSeq)
+	}
+	for i, op := range ops {
+		if op.Name != fmt.Sprintf("g%02d", i) || !graph.Equal(op.Graph, testGraph(i)) {
+			t.Fatalf("op %d damaged by recovery: %+v", i, op)
+		}
+	}
+	s.Close()
+}
+
+func TestSnapshotFoldsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make(map[string]*graph.Graph)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("g%02d", i)
+		g := testGraph(i)
+		state[name] = g
+		if _, err := s.Append(Op{Kind: OpRegister, Name: name, Graph: g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastSeq, sealed, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 4 || len(sealed) != 1 {
+		t.Fatalf("Rotate = (%d, %v)", lastSeq, sealed)
+	}
+	if err := s.WriteSnapshot(state, lastSeq, sealed); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SnapshotSeq != 4 || st.Snapshots != 1 || st.SinceSnapshot != 0 {
+		t.Fatalf("post-snapshot stats: %+v", st)
+	}
+	// Ops after the snapshot land in the fresh segment.
+	if _, err := s.Append(Op{Kind: OpRemove, Name: "g03"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	ops := replayAll(t, dir)
+	// 4 snapshot registers + 1 WAL remove.
+	if len(ops) != 5 {
+		t.Fatalf("replayed %d ops, want 5", len(ops))
+	}
+	for i := 0; i < 4; i++ {
+		if ops[i].Kind != OpRegister || ops[i].Seq != 4 {
+			t.Fatalf("snapshot op %d: %+v", i, ops[i])
+		}
+	}
+	if ops[4].Kind != OpRemove || ops[4].Seq != 5 {
+		t.Fatalf("WAL op: %+v", ops[4])
+	}
+}
+
+// TestSnapshotCrashBeforeSegmentDeletion simulates the crash window
+// between the snapshot rename and the sealed-segment deletion: replay
+// must not double-apply the sealed ops.
+func TestSnapshotCrashBeforeSegmentDeletion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make(map[string]*graph.Graph)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("g%02d", i)
+		state[name] = testGraph(i)
+		if _, err := s.Append(Op{Kind: OpRegister, Name: name, Graph: state[name]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastSeq, sealed, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep copies of the sealed segments, snapshot, then restore them —
+	// as if the process died after the rename but before the deletes.
+	saved := make(map[string][]byte)
+	for _, p := range sealed {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = data
+	}
+	if err := s.WriteSnapshot(state, lastSeq, sealed); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	for p, data := range saved {
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ops := replayAll(t, dir)
+	if len(ops) != 3 {
+		t.Fatalf("replayed %d ops, want 3 (sealed segment must be skipped)", len(ops))
+	}
+	for _, op := range ops {
+		if op.Seq != 3 {
+			t.Fatalf("expected only snapshot ops at seq 3, got %+v", op)
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA := testGraph(1)
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "a", Graph: gA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "b", Graph: testGraph(2)}); err != nil {
+		t.Fatal(err)
+	}
+	patch := &graph.Patch{AddNodes: []graph.Node{{Label: "x", Weight: 1}}}
+	if _, err := s.Append(Op{Kind: OpPatch, Name: "a", Patch: patch}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Op{Kind: OpRemove, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	info, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Graphs != 1 || info.LastSeq != 4 || info.ReplayedOps != 4 {
+		t.Fatalf("CompactInfo = %+v", info)
+	}
+
+	ops := replayAll(t, dir)
+	if len(ops) != 1 || ops[0].Name != "a" {
+		t.Fatalf("post-compact replay: %+v", ops)
+	}
+	want, err := gA.ApplyPatch(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(ops[0].Graph, want) {
+		t.Fatal("compacted graph does not reflect the patch")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Append(Op{Kind: OpRemove, Name: "x"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestReopenWithoutClose models kill -9: acknowledged appends are
+// fsynced, so a store abandoned without Close replays completely.
+func TestReopenWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(Op{Kind: OpRegister, Name: fmt.Sprintf("g%d", i), Graph: testGraph(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: Abandon drops the fds and the directory lock without the
+	// final sync, exactly what kill -9 leaves behind.
+	s.Abandon()
+	if got := len(replayAll(t, dir)); got != 3 {
+		t.Fatalf("replayed %d ops, want 3", got)
+	}
+}
+
+// TestSnapshotThenCompact is the regression for the empty-segment
+// rotation: snapshot rotates to a fresh (empty) segment, the process
+// dies, and an offline compact must not collide with that segment's
+// name — repeated compactions included.
+func TestSnapshotThenCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := map[string]*graph.Graph{"a": testGraph(1)}
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "a", Graph: state["a"]}); err != nil {
+		t.Fatal(err)
+	}
+	lastSeq, sealed, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(state, lastSeq, sealed); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	for i := 0; i < 2; i++ {
+		info, err := Compact(dir)
+		if err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+		if info.Graphs != 1 || info.LastSeq != 1 {
+			t.Fatalf("compact %d: %+v", i, info)
+		}
+	}
+	if got := len(replayAll(t, dir)); got != 1 {
+		t.Fatalf("replayed %d ops, want 1", got)
+	}
+}
+
+// TestRotateEmptySegmentNoGrowth checks back-to-back rotations with no
+// traffic neither error nor accumulate segment files.
+func TestRotateEmptySegmentNoGrowth(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		lastSeq, sealed, err := s.Rotate()
+		if err != nil {
+			t.Fatalf("rotate %d: %v", i, err)
+		}
+		if err := s.WriteSnapshot(nil, lastSeq, sealed); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.Segments != 1 {
+		t.Fatalf("segments = %d, want 1", st.Segments)
+	}
+}
+
+// TestOpenLocked checks the single-opener guard: a live store blocks a
+// second Open (e.g. phom compact against a running phomd) until Close.
+func TestOpenLocked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open of a live store succeeded")
+	}
+	if _, err := Compact(dir); err == nil {
+		t.Fatal("Compact of a live store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestRecoveryTornHeader is the regression for a segment whose header
+// itself was torn mid-write: it must be recreated with a valid magic,
+// so ops acknowledged after the recovery survive the next restart.
+func TestRecoveryTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walPrefix+"0000000000000001"+walSuffix)
+	if err := os.WriteFile(path, []byte("PHO"), 0o644); err != nil { // 3 of 8 magic bytes
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "g", Graph: testGraph(1)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon() // crash right after the acknowledged append
+	if got := len(replayAll(t, dir)); got != 1 {
+		t.Fatalf("replayed %d ops after torn-header recovery, want 1", got)
+	}
+}
+
+// TestRecoveryDuplicateRecord is the regression for sequence-number
+// validation: a record duplicated at the tail (splice mutation, block
+// duplication) carries a valid checksum but must still be treated as
+// damage — replaying it twice would double-apply the op and break
+// FoldState.
+func TestRecoveryDuplicateRecord(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 3)
+	path := walPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the last record's bytes: find its start by re-framing
+	// from the front (header 8, then len-prefixed records).
+	off := 8
+	lastStart := off
+	for off < len(data) {
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		lastStart = off
+		off += 8 + n
+	}
+	dup := append(data, data[lastStart:]...)
+	if err := os.WriteFile(path, dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Recovered != 1 || st.LastSeq != 3 {
+		t.Fatalf("stats after duplicate-record recovery: %+v", st)
+	}
+	seen := map[uint64]bool{}
+	if err := s.Replay(func(op Op) error {
+		if seen[op.Seq] {
+			t.Fatalf("seq %d replayed twice", op.Seq)
+		}
+		seen[op.Seq] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("replayed %d ops, want 3", len(seen))
+	}
+	// FoldState — the boot path — must succeed on the recovered store.
+	state, _, err := s.FoldState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 3 {
+		t.Fatalf("folded %d graphs, want 3", len(state))
+	}
+	s.Close()
+}
+
+// TestSnapshotFailureKeepsSealedSegments checks that a snapshot
+// attempt failing after the rotation does not orphan the sealed
+// segments: the next successful snapshot still reclaims them.
+func TestSnapshotFailureKeepsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	state := make(map[string]*graph.Graph)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("g%02d", i)
+		state[name] = testGraph(i)
+		if _, err := s.Append(Op{Kind: OpRegister, Name: name, Graph: state[name]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotate as a snapshot would, then "fail" the write (simply never
+	// call WriteSnapshot). The sealed segment must resurface on the
+	// next rotation.
+	lastSeq, sealed1, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed1) != 1 {
+		t.Fatalf("first rotate sealed %v", sealed1)
+	}
+	if st := s.Stats(); st.Segments != 2 {
+		t.Fatalf("segments after failed snapshot = %d, want 2 (sealed + current)", st.Segments)
+	}
+	// One more op so the second rotation seals a record-bearing segment.
+	if _, err := s.Append(Op{Kind: OpRemove, Name: "g00"}); err != nil {
+		t.Fatal(err)
+	}
+	delete(state, "g00")
+	lastSeq, sealed2, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed2) != 2 {
+		t.Fatalf("second rotate must carry the orphan too, sealed %v", sealed2)
+	}
+	if err := s.WriteSnapshot(state, lastSeq, sealed2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after successful snapshot = %d, want 1", st.Segments)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"+walSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("WAL files on disk after reclaim: %v", left)
+	}
+}
+
+// TestSinceSnapshotSurvivesRestart checks the compaction trigger
+// resumes from the recovered WAL tail instead of resetting to zero.
+func TestSinceSnapshotSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, 4)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().SinceSnapshot; got != 4 {
+		t.Fatalf("SinceSnapshot after restart = %d, want 4", got)
+	}
+}
