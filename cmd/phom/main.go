@@ -32,6 +32,11 @@
 //
 //	phom snapshot -addr http://localhost:8080
 //	phom compact -store /var/lib/phomd
+//
+// The metrics and top verbs inspect a running phomd (see observe.go):
+//
+//	phom metrics -addr http://localhost:8080 -grep engine_
+//	phom top -addr http://localhost:8080
 package main
 
 import (
@@ -62,6 +67,12 @@ func main() {
 			return
 		case "compact":
 			runCompact(os.Args[2:])
+			return
+		case "metrics":
+			runMetrics(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
 			return
 		}
 	}

@@ -35,11 +35,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -75,6 +78,13 @@ func main() {
 	storePath := flag.String("store", "", "durable catalog directory (WAL + snapshots); empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 1000, "compact the WAL into a snapshot every N mutations (0 = only on demand via /v1/admin/snapshot); needs -store")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request wall-time bound, propagated into the matcher as a context deadline; timed-out requests answer 504 and free their worker (0 = unbounded)")
+	maxPending := flag.Int("max-pending", -1, "admission-control bound on queued+running tasks; excess requests answer 429 with Retry-After (-1 = queue depth + workers, 0 = unlimited)")
+	matchConc := flag.Int("match-concurrency", 0, "cap concurrent /v1/match and /v1/match/batch requests in the transport; excess answer 429 (0 = unlimited)")
+	searchConc := flag.Int("search-concurrency", 0, "cap concurrent /v1/search requests (0 = unlimited)")
+	patchConc := flag.Int("patch-concurrency", 0, "cap concurrent PATCH /v1/graphs requests (0 = unlimited)")
+	maxBatch := flag.Int("max-batch", 0, "largest accepted /v1/match/batch element count (0 = default, -1 = unlimited)")
+	accessLog := flag.Bool("access-log", false, "log one line per request (id, method, path, status, bytes, duration) to stderr")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
@@ -84,9 +94,46 @@ func main() {
 		log.Fatalf("phomd: %v", err)
 	}
 
+	// Resolve the admission bound the way the engine resolves its pool:
+	// the default keeps every admitted task's queue send non-blocking.
+	resolvedWorkers := *workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	resolvedQueue := *queueDepth
+	if resolvedQueue <= 0 {
+		resolvedQueue = 4 * resolvedWorkers
+	}
+	pending := *maxPending
+	if pending < 0 {
+		pending = resolvedQueue + resolvedWorkers
+	}
+
+	// Bind the listener before the (possibly long) store replay so
+	// orchestrators see the port up immediately: while the engine boots,
+	// a placeholder handler answers /healthz 200 (the process is alive),
+	// /readyz 503 (don't route traffic yet), and everything else 503.
+	// Once the engine is open and the -load graphs are registered, the
+	// real handler is swapped in atomically and /readyz flips to 200.
+	var handler atomic.Value // of http.Handler
+	handler.Store(bootingHandler())
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("phomd: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("phomd listening on %s (booting)", ln.Addr())
+
 	// With -store, Open replays the persisted catalog (snapshot + WAL)
-	// here — closures and search index rebuilt — so the listener below
-	// only ever binds in front of a fully recovered engine.
+	// here — closures and search index rebuilt — while the listener
+	// already answers probes.
 	bootStart := time.Now()
 	eng, err := engine.Open(engine.Options{
 		Workers:              *workers,
@@ -94,6 +141,7 @@ func main() {
 		MaxClosureBytes:      *maxClosureBytes,
 		ReachTier:            tier,
 		QueueDepth:           *queueDepth,
+		MaxPending:           pending,
 		ExactNodeLimit:       *maxExact,
 		SearchMaxCandidates:  *searchMaxCand,
 		SearchMinResemblance: *searchMinRes,
@@ -148,11 +196,22 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.New(eng),
-		ReadHeaderTimeout: 10 * time.Second,
+	// Warm-up done: swap in the real API and flip readiness.
+	var ready atomic.Bool
+	var lg *log.Logger
+	if *accessLog {
+		lg = log.New(os.Stderr, "access ", log.LstdFlags|log.Lmicroseconds)
 	}
+	handler.Store(httpapi.NewWithOptions(eng, httpapi.Options{
+		RequestTimeout:    *requestTimeout,
+		MatchConcurrency:  *matchConc,
+		SearchConcurrency: *searchConc,
+		PatchConcurrency:  *patchConc,
+		MaxBatch:          *maxBatch,
+		AccessLog:         lg,
+		Ready:             ready.Load,
+	}))
+	ready.Store(true)
 
 	// Graceful shutdown, in dependency order: SIGINT/SIGTERM stops the
 	// listener (Shutdown waits for in-flight HTTP requests), then
@@ -173,17 +232,18 @@ func main() {
 		}
 	}()
 
-	log.Printf("phomd listening on %s (%d workers)", *addr, eng.Stats().Workers)
-	err = srv.ListenAndServe()
+	log.Printf("phomd ready on %s (%d workers, max-pending %d, request-timeout %v)",
+		ln.Addr(), eng.Stats().Workers, pending, *requestTimeout)
+	err = <-serveErr
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// Close before exiting even on a listener failure: -load
 		// registrations may already sit in the WAL.
 		eng.Close()
 		log.Fatalf("phomd: %v", err)
 	}
-	// ListenAndServe returns the moment the listener closes, while
-	// Shutdown is still draining in-flight handlers — wait for the
-	// drain before closing the engine underneath those requests.
+	// Serve returns the moment the listener closes, while Shutdown is
+	// still draining in-flight handlers — wait for the drain before
+	// closing the engine underneath those requests.
 	stop()
 	<-drained
 	eng.Close()
@@ -192,6 +252,23 @@ func main() {
 	} else {
 		log.Printf("phomd stopped")
 	}
+}
+
+// bootingHandler serves while the engine replays its store: liveness
+// says the process is up, readiness and every API route say "not yet".
+func bootingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	return mux
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

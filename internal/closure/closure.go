@@ -20,9 +20,17 @@
 package closure
 
 import (
+	"context"
+
 	"graphmatch/internal/bitset"
 	"graphmatch/internal/graph"
 )
+
+// cancelCheckEvery is how many per-node (or per-component) build steps
+// pass between context polls in the Ctx constructors: frequent enough
+// that an abandoned build on a large graph stops within microseconds,
+// rare enough that the poll never shows up in a profile.
+const cancelCheckEvery = 256
 
 // Reach indexes the transitive closure of a graph: Reachable(u, v) reports
 // whether a nonempty path u ⇝ v exists. It is immutable once built and safe
@@ -40,6 +48,16 @@ type Reach struct {
 // Compute builds the closure index using SCC condensation and bitset
 // propagation.
 func Compute(g *graph.Graph) *Reach {
+	r, _ := ComputeCtx(context.Background(), g)
+	return r
+}
+
+// ComputeCtx is Compute with cooperative cancellation: the propagation
+// loop polls ctx periodically and returns ctx's error when the caller
+// gave up, so an abandoned request does not keep a worker pinned on a
+// large closure build. A Background context makes it identical to
+// Compute.
+func ComputeCtx(ctx context.Context, g *graph.Graph) (*Reach, error) {
 	dag, scc, selfReach := g.Condense()
 	k := scc.NumComponents()
 	compReach := make([]*bitset.Set, k)
@@ -49,6 +67,11 @@ func Compute(g *graph.Graph) *Reach {
 	// processing components in increasing index order guarantees all
 	// successors are finished first.
 	for c := 0; c < k; c++ {
+		if c%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := bitset.New(k)
 		for _, succ := range dag.Post(graph.NodeID(c)) {
 			row.Add(int(succ))
@@ -59,7 +82,7 @@ func Compute(g *graph.Graph) *Reach {
 		}
 		compReach[c] = row
 	}
-	return &Reach{n: g.NumNodes(), comp: scc.Comp, compReach: compReach}
+	return &Reach{n: g.NumNodes(), comp: scc.Comp, compReach: compReach}, nil
 }
 
 // ComputeBounded builds a bounded reachability index: Reachable(u, v)
@@ -69,13 +92,26 @@ func Compute(g *graph.Graph) *Reach {
 // adjacency, turning p-hom into similarity-relaxed graph homomorphism.
 // A non-positive maxLen means unbounded and defers to Compute.
 func ComputeBounded(g *graph.Graph, maxLen int) *Reach {
+	r, _ := ComputeBoundedCtx(context.Background(), g, maxLen)
+	return r
+}
+
+// ComputeBoundedCtx is ComputeBounded with cooperative cancellation,
+// polling ctx between per-node BFS passes (and deferring to ComputeCtx
+// when maxLen means unbounded).
+func ComputeBoundedCtx(ctx context.Context, g *graph.Graph, maxLen int) (*Reach, error) {
 	if maxLen <= 0 {
-		return Compute(g)
+		return ComputeCtx(ctx, g)
 	}
 	n := g.NumNodes()
 	comp := make([]int, n)
 	rows := make([]*bitset.Set, n)
 	for v := 0; v < n; v++ {
+		if v%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		comp[v] = v
 		row := bitset.New(n)
 		// Level-bounded BFS from the successors of v.
@@ -100,7 +136,7 @@ func ComputeBounded(g *graph.Graph, maxLen int) *Reach {
 		}
 		rows[v] = row
 	}
-	return &Reach{n: n, comp: comp, compReach: rows}
+	return &Reach{n: n, comp: comp, compReach: rows}, nil
 }
 
 // ComputeBFS builds the closure index by running one truncated BFS per

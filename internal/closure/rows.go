@@ -35,8 +35,10 @@ type Rows struct {
 }
 
 // NewRows expands a Reach index into forward and backward closure rows.
-// The expansion is word-level: member bitsets of each component are
-// OR-combined along the component-level closure, never per-bit probed.
+// The expansion is word-level where components have several members
+// (member bitsets OR-combined along the component-level closure) and a
+// per-bit relabel where every component is a singleton — O(reachable
+// pairs) either way, never worse.
 func NewRows(r *Reach) *Rows {
 	n := r.n
 	k := len(r.compReach)
@@ -44,8 +46,7 @@ func NewRows(r *Reach) *Rows {
 
 	// Detect the identity component mapping (one singleton component
 	// per node, in ID order) — the shape ComputeBFS and ComputeBounded
-	// produce, and a frequent outcome of Compute on acyclic graphs.
-	// There the component rows already are node rows.
+	// produce. There the component rows already are node rows.
 	identity := k == n
 	if identity {
 		for v, c := range r.comp {
@@ -71,11 +72,38 @@ func NewRows(r *Reach) *Rows {
 	}
 
 	var fwdByComp, bwdByComp []*bitset.Set
-	if identity {
+	switch {
+	case identity:
 		fwdByComp = r.compReach
 		bwdByComp = compBwd
 		rw.ownedBytes += k * rowBytes // compBwd
-	} else {
+	case k == n:
+		// Acyclic graph whose SCC pass numbered the (all singleton)
+		// components out of ID order. Expanding a component row is then
+		// a bit relabel through the inverse permutation — O(reachable
+		// pairs) total, where the general member-OR expansion below
+		// would pay O(n/64) words per reachable pair and dominate the
+		// dense-tier build on long DAGs.
+		member := make([]int, k)
+		for v, c := range r.comp {
+			member[c] = v
+		}
+		translate := func(compRows []*bitset.Set) []*bitset.Set {
+			out := make([]*bitset.Set, k)
+			for c := 0; c < k; c++ {
+				row := bitset.New(n)
+				cr := compRows[c]
+				for d := cr.Next(0); d >= 0; d = cr.Next(d + 1) {
+					row.Add(member[d])
+				}
+				out[c] = row
+			}
+			return out
+		}
+		fwdByComp = translate(r.compReach)
+		bwdByComp = translate(compBwd)
+		rw.ownedBytes += 2 * k * rowBytes
+	default:
 		// members[c] = bitset of the nodes in component c; expanding a
 		// component row is then a word-level OR of member bitsets.
 		members := make([]*bitset.Set, k)
@@ -130,7 +158,7 @@ func (rw *Rows) Bytes() int { return rw.ownedBytes }
 
 // Bytes approximates the heap bytes held by the Reach index: the
 // component assignment plus the component reachability rows. Used by
-// the catalog's cache memory accounting.
+// the catalog's cache accounting.
 func (r *Reach) Bytes() int {
 	k := len(r.compReach)
 	return 8*r.n + k*8*((k+63)/64)

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"graphmatch/internal/closure"
+)
+
+// This file threads context cancellation into the matching algorithms.
+// The paper's procedures have wildly input-dependent cost — the
+// approximation algorithms are cubic with large constants, the exact
+// deciders exponential — so a serving system needs per-request
+// deadlines that actually stop the recursion, not just abandon its
+// result. The design:
+//
+//   - Every *Ctx entry point installs the context's Done channel on
+//     the matcher and polls it every cancelStep recursive calls (a
+//     single counter increment and predictable branch on the hot
+//     path; the channel select only every 128th call).
+//   - A fired poll panics with matchAbort, unwinding the entire
+//     recursion at once; the entry point recovers it and returns
+//     ErrDeadline. Unwinding abandons the matcher's free lists mid
+//     flight, which is safe precisely because the pools are
+//     per-matcher: no shared state is left inconsistent, the
+//     abandoned matcher is garbage collected whole, and a subsequent
+//     identical request builds a fresh matcher and returns
+//     bit-identical results (pinned by TestCancelPoisonsNothing).
+//   - The closure/index build paths get the same treatment via
+//     closure.ComputeCtx/ComputeBoundedCtx (polled per node), reached
+//     through ReachCtx/IndexCtx. Builds installed by the catalog are
+//     shared across requests and are never cancelled — only a
+//     request-private lazy build dies with its request.
+//
+// The non-Ctx methods delegate with context.Background(), whose nil
+// Done channel disables polling entirely — library callers pay
+// nothing.
+
+// ErrDeadline reports that a matching computation was abandoned
+// because its context was cancelled or its deadline expired before the
+// algorithm finished. Errors returned by the *Ctx entry points wrap
+// both ErrDeadline and the context's own error, so errors.Is works
+// against either.
+var ErrDeadline = errors.New("core: deadline exceeded")
+
+// cancelStep is the poll cadence: the Done channel is selected every
+// this many recursive calls. Power of two so the modulo compiles to a
+// mask. 128 bounds post-cancel overrun to microseconds while keeping
+// the common-path cost to one increment + compare.
+const cancelStep = 128
+
+// matchAbort is the panic sentinel that unwinds the recursion when a
+// poll observes cancellation. It never escapes this package: every
+// *Ctx entry point recovers it.
+type matchAbort struct{ err error }
+
+// wrapDeadline converts a context error into the typed ErrDeadline,
+// preserving the cause for logs.
+func wrapDeadline(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrDeadline, cause)
+}
+
+// bind installs ctx on the matcher. A context that can never be
+// cancelled (Background) leaves polling disabled.
+func (mx *matcher) bind(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	mx.done = ctx.Done()
+	mx.ctx = ctx
+}
+
+// poll is the cooperative cancellation check, called from the hot
+// recursion. With no cancellable context bound it is two predictable
+// instructions.
+func (mx *matcher) poll() {
+	if mx.done == nil {
+		return
+	}
+	mx.steps++
+	if mx.steps%cancelStep != 0 {
+		return
+	}
+	select {
+	case <-mx.done:
+		panic(matchAbort{wrapDeadline(mx.ctx.Err())})
+	default:
+	}
+}
+
+// recoverAbort turns a matchAbort panic into the entry point's error
+// return; any other panic propagates.
+func recoverAbort(m *Mapping, err *error) {
+	if r := recover(); r != nil {
+		ab, ok := r.(matchAbort)
+		if !ok {
+			panic(r)
+		}
+		*m, *err = nil, ab.err
+	}
+}
+
+// ReachCtx is Reach with a cancellable build: when the index is not
+// yet cached the (potentially cubic) closure construction runs under
+// ctx and a cancelled build leaves the cache empty — the next caller
+// rebuilds. A cached index returns immediately regardless of ctx.
+func (in *Instance) ReachCtx(ctx context.Context) (*closure.Reach, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.reach == nil {
+		r, err := closure.ComputeBoundedCtx(ctx, in.G2, in.MaxPathLen)
+		if err != nil {
+			return nil, wrapDeadline(err)
+		}
+		in.reach = r
+	}
+	return in.reach, nil
+}
+
+// IndexCtx is Index with a cancellable build, mirroring ReachCtx.
+func (in *Instance) IndexCtx(ctx context.Context) (closure.Index, error) {
+	if _, err := in.ReachCtx(ctx); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDeadline(err)
+	}
+	return in.Index(), nil
+}
+
+// prepareCtx runs the shared preflight of every *Ctx entry point:
+// reject an already-dead context before doing any work, then make sure
+// the reachability index exists (building it cancellably if not).
+func (in *Instance) prepareCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return wrapDeadline(err)
+	}
+	_, err := in.ReachCtx(ctx)
+	return err
+}
+
+// CompMaxCardCtx is CompMaxCard with cooperative cancellation: when
+// ctx is cancelled mid-recursion the search stops within cancelStep
+// calls and the typed ErrDeadline (wrapping ctx's error) is returned.
+func (in *Instance) CompMaxCardCtx(ctx context.Context) (m Mapping, err error) {
+	if err := in.prepareCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer recoverAbort(&m, &err)
+	mx := in.newMatcher(false)
+	mx.bind(ctx)
+	return mx.run(mx.initialList()), nil
+}
+
+// CompMaxCard11Ctx is CompMaxCard11 with cooperative cancellation.
+func (in *Instance) CompMaxCard11Ctx(ctx context.Context) (m Mapping, err error) {
+	if err := in.prepareCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer recoverAbort(&m, &err)
+	mx := in.newMatcher(true)
+	mx.bind(ctx)
+	return mx.run(mx.initialList()), nil
+}
+
+// CompMaxSimCtx is CompMaxSim with cooperative cancellation.
+func (in *Instance) CompMaxSimCtx(ctx context.Context) (m Mapping, err error) {
+	if err := in.prepareCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer recoverAbort(&m, &err)
+	mx := in.newMatcher(false)
+	mx.pickBest = true
+	mx.bind(ctx)
+	return mx.runSim(mx.initialList()), nil
+}
+
+// CompMaxSim11Ctx is CompMaxSim11 with cooperative cancellation.
+func (in *Instance) CompMaxSim11Ctx(ctx context.Context) (m Mapping, err error) {
+	if err := in.prepareCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer recoverAbort(&m, &err)
+	mx := in.newMatcher(true)
+	mx.pickBest = true
+	mx.bind(ctx)
+	return mx.runSim(mx.initialList()), nil
+}
+
+// DecideCtx is Decide with cooperative cancellation — the entry point
+// that matters most operationally, since the exact decider is
+// exponential and a single adversarial pattern can otherwise pin a
+// worker for hours.
+func (in *Instance) DecideCtx(ctx context.Context) (Mapping, bool, error) {
+	return in.decideCtx(ctx, false, false)
+}
+
+// Decide11Ctx is Decide11 with cooperative cancellation.
+func (in *Instance) Decide11Ctx(ctx context.Context) (Mapping, bool, error) {
+	return in.decideCtx(ctx, true, false)
+}
+
+func (in *Instance) decideCtx(ctx context.Context, injective, filtered bool) (Mapping, bool, error) {
+	if err := in.prepareCtx(ctx); err != nil {
+		return nil, false, err
+	}
+	return in.decideWith(ctx, injective, filtered)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"graphmatch/internal/closure"
@@ -17,21 +18,27 @@ import (
 // Decide reports whether G1 is p-hom to G2 w.r.t. mat() and ξ, returning a
 // witness mapping over the whole of V1 when it is.
 func (in *Instance) Decide() (Mapping, bool) {
-	return in.decideWith(false, false)
+	m, ok, _ := in.decideWith(context.Background(), false, false)
+	return m, ok
 }
 
 // Decide11 reports whether G1 is 1-1 p-hom to G2, returning an injective
 // witness mapping when it is.
 func (in *Instance) Decide11() (Mapping, bool) {
-	return in.decideWith(true, false)
+	m, ok, _ := in.decideWith(context.Background(), true, false)
+	return m, ok
 }
 
-func (in *Instance) decideWith(injective, filtered bool) (Mapping, bool) {
+func (in *Instance) decideWith(ctx context.Context, injective, filtered bool) (Mapping, bool, error) {
 	n1 := in.G1.NumNodes()
 	if n1 == 0 {
-		return Mapping{}, true
+		return Mapping{}, true, nil
 	}
 	reach := in.Reach()
+	// Cooperative cancellation: the backtracking search polls done every
+	// cancelStep recursive calls. Background's nil Done disables it.
+	done := ctx.Done()
+	var steps uint64
 
 	// Candidate lists per node, pre-filtered by ξ and the self-loop
 	// condition (a node with a self-loop needs an image on a cycle).
@@ -50,14 +57,14 @@ func (in *Instance) decideWith(injective, filtered bool) (Mapping, bool) {
 			cands[v] = append(cands[v], uu)
 		}
 		if len(cands[v]) == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 	if filtered {
 		in.filterCandidates(cands, injective)
 		for v := range cands {
 			if len(cands[v]) == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 		}
 	}
@@ -79,6 +86,16 @@ func (in *Instance) decideWith(injective, filtered bool) (Mapping, bool) {
 
 	var try func(k int) bool
 	try = func(k int) bool {
+		if done != nil {
+			steps++
+			if steps%cancelStep == 0 {
+				select {
+				case <-done:
+					panic(matchAbort{wrapDeadline(ctx.Err())})
+				default:
+				}
+			}
+		}
 		if k == n1 {
 			return true
 		}
@@ -100,14 +117,30 @@ func (in *Instance) decideWith(injective, filtered bool) (Mapping, bool) {
 		}
 		return false
 	}
-	if !try(0) {
-		return nil, false
+	var abortErr error
+	found := func() bool {
+		defer func() {
+			if r := recover(); r != nil {
+				ab, ok := r.(matchAbort)
+				if !ok {
+					panic(r)
+				}
+				abortErr = ab.err
+			}
+		}()
+		return try(0)
+	}()
+	if abortErr != nil {
+		return nil, false, abortErr
+	}
+	if !found {
+		return nil, false, nil
 	}
 	m := make(Mapping, n1)
 	for v := 0; v < n1; v++ {
 		m[graph.NodeID(v)] = assigned[v]
 	}
-	return m, true
+	return m, true, nil
 }
 
 // consistent checks the edge-to-path condition of v→u against every

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"graphmatch/internal/graph"
 )
 
@@ -106,10 +108,12 @@ func (in *Instance) filterCandidates(cands [][]graph.NodeID, injective bool) fil
 // DecideFiltered is Decide with the candidate pre-filter enabled. The
 // result always equals Decide's; only the search cost changes.
 func (in *Instance) DecideFiltered() (Mapping, bool) {
-	return in.decideWith(false, true)
+	m, ok, _ := in.decideWith(context.Background(), false, true)
+	return m, ok
 }
 
 // Decide11Filtered is Decide11 with the candidate pre-filter enabled.
 func (in *Instance) Decide11Filtered() (Mapping, bool) {
-	return in.decideWith(true, true)
+	m, ok, _ := in.decideWith(context.Background(), true, true)
+	return m, ok
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"graphmatch/internal/bitset"
 	"graphmatch/internal/closure"
 	"graphmatch/internal/graph"
@@ -118,6 +120,13 @@ type matcher struct {
 	postBits  []*bitset.Set // postBits[v] over V1
 	weights   [][]float64   // memoized pairWeight rows, built per v on demand
 	stats     SearchStats
+
+	// Cooperative cancellation (see cancel.go): done is the bound
+	// context's Done channel (nil = polling disabled), steps gates the
+	// channel select to every cancelStep-th poll.
+	ctx   context.Context
+	done  <-chan struct{}
+	steps uint64
 
 	// Free lists. Sets are over V2, lists over V1, pair buffers hold
 	// partial σ / I results; all recycle through the recursion so
@@ -254,6 +263,7 @@ func (mx *matcher) greedyMatchAt(h *matchList, depth int) (sigma, conflicts []Pa
 	if len(h.nodes) == 0 {
 		return nil, nil
 	}
+	mx.poll()
 	mx.stats.GreedyCalls++
 	if depth > mx.stats.MaxDepth {
 		mx.stats.MaxDepth = depth

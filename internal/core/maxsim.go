@@ -122,6 +122,7 @@ func (mx *matcher) augment(m Mapping) Mapping {
 	}
 	var cands []cand
 	for v := 0; v < in.G1.NumNodes(); v++ {
+		mx.poll()
 		vv := graph.NodeID(v)
 		if _, ok := out[vv]; ok {
 			continue

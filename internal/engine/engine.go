@@ -35,6 +35,7 @@ import (
 	"graphmatch/internal/closure"
 	"graphmatch/internal/core"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/metrics"
 	"graphmatch/internal/search"
 	"graphmatch/internal/simmatrix"
 	"graphmatch/internal/simulation"
@@ -136,6 +137,11 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Errors counts requests that finished with a non-nil error.
 	Errors uint64 `json:"errors"`
+	// Shed counts requests rejected by admission control.
+	Shed uint64 `json:"shed"`
+	// Pending is the point-in-time count of admitted tasks queued or
+	// running.
+	Pending int64 `json:"pending"`
 	// Batches counts MatchBatch calls.
 	Batches uint64 `json:"batches"`
 	// Searches counts Search calls (catalog-wide top-k rankings).
@@ -147,6 +153,19 @@ type Stats struct {
 // ErrExactLimit rejects an exact-decision request whose pattern
 // exceeds the engine's configured bound (see Options.ExactNodeLimit).
 var ErrExactLimit = errors.New("engine: pattern too large for exact decision")
+
+// ErrOverloaded rejects a request shed by admission control: the
+// engine already has Options.MaxPending tasks admitted and refusing
+// fast beats queueing into a latency collapse. The transport maps it
+// to HTTP 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("engine: overloaded, request shed")
+
+// ErrDeadline reports that a request's context was cancelled or its
+// deadline expired before the computation finished — whether while
+// queued, mid-recursion in the matcher, or during a closure build. It
+// is the core package's sentinel re-exported so transports need only
+// one errors.Is target; httpapi maps it to HTTP 504.
+var ErrDeadline = core.ErrDeadline
 
 // Options configures a new Engine.
 type Options struct {
@@ -169,11 +188,27 @@ type Options struct {
 	// QueueDepth bounds pending tasks before Match blocks; defaults to
 	// 4 × Workers.
 	QueueDepth int
+	// MaxPending enables load-shedding admission control: when more
+	// than this many admitted tasks are queued or running, new
+	// non-coalesced submissions fail immediately with ErrOverloaded
+	// instead of blocking on the queue. Coalesced requests always
+	// attach (they add no work). 0 — the library default — disables
+	// shedding and preserves the blocking-submit behaviour; servers
+	// exposed to untrusted load should set it (phomd does, to
+	// QueueDepth + Workers). Keeping MaxPending ≤ QueueDepth + Workers
+	// guarantees an admitted task's queue send never blocks.
+	MaxPending int
+	// NoMetrics disables instrumentation entirely: Metrics() returns
+	// nil and every metric point on the hot path is a nil-receiver
+	// no-op. Exists for the instrumentation-overhead benchmark
+	// (cmd/benchload) and for embedders that bring their own metrics.
+	NoMetrics bool
 	// ExactNodeLimit, when positive, rejects Decide/Decide11 requests
-	// whose pattern has more nodes — those procedures are exponential
-	// and cannot be aborted once running, so an unbounded request can
-	// pin a worker indefinitely. 0 means unlimited (library default);
-	// servers exposed to untrusted clients should set it (phomd does).
+	// whose pattern has more nodes — those procedures are exponential,
+	// and while a context deadline now aborts them mid-recursion, a
+	// request submitted without one can still pin a worker for a long
+	// time. 0 means unlimited (library default); servers exposed to
+	// untrusted clients should set it (phomd does).
 	ExactNodeLimit int
 	// SearchMaxCandidates is the default stage-1 candidate cap for
 	// Search requests that leave MaxCandidates at 0. Non-positive
@@ -212,12 +247,46 @@ type reqKey struct {
 	sim       SimKind
 }
 
-// task is one scheduled computation plus its completion signal.
+// task is one scheduled computation plus its completion signal and
+// its cancellation state. The task owns a private context derived from
+// Background — never from any single waiter's context, because
+// coalesced peers with laxer deadlines must not die with the first
+// impatient waiter. waiters refcounts the attached requests; the last
+// one to abandon the task cancels its context, which the executing
+// matcher observes cooperatively (core's *Ctx entry points).
 type task struct {
-	req  Request
-	key  reqKey
-	done chan struct{}
-	res  Result
+	req      Request
+	key      reqKey
+	done     chan struct{}
+	res      Result
+	ctx      context.Context
+	cancel   context.CancelFunc
+	waiters  atomic.Int32
+	enqueued time.Time
+}
+
+// attach registers one more waiter. It fails when the refcount already
+// hit zero — every previous waiter gave up and the task's context is
+// (or is about to be) cancelled — in which case the caller must start
+// a fresh task rather than inherit a doomed result.
+func (t *task) attach() bool {
+	for {
+		n := t.waiters.Load()
+		if n <= 0 {
+			return false
+		}
+		if t.waiters.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// detach drops one waiter, cancelling the task when nobody is left to
+// consume its result.
+func (t *task) detach() {
+	if t.waiters.Add(-1) == 0 {
+		t.cancel()
+	}
 }
 
 // Engine schedules match requests over a shared catalog. Create one
@@ -261,6 +330,13 @@ type Engine struct {
 	snapWg        sync.WaitGroup
 	snapPending   atomic.Bool
 
+	// Admission control: pending counts admitted tasks (queued +
+	// running, coalesced attaches excluded); maxPending > 0 sheds past
+	// the bound.
+	maxPending int
+	pending    atomic.Int64
+	shed       atomic.Uint64
+
 	requests  atomic.Uint64
 	executed  atomic.Uint64
 	coalesced atomic.Uint64
@@ -268,6 +344,17 @@ type Engine struct {
 	batches   atomic.Uint64
 	searches  atomic.Uint64
 	workers   int
+
+	// reg is the process-wide metrics registry (nil with
+	// Options.NoMetrics); the m* instruments are nil exactly when reg
+	// is, making every observation a nil-receiver no-op.
+	reg               *metrics.Registry
+	mTaskWait         *metrics.Histogram
+	mTaskRun          *metrics.Histogram
+	mSearchCandidates *metrics.Histogram
+	mSearchPruneRatio *metrics.Histogram
+	mSearchStage1     *metrics.Histogram
+	mSearchStage2     *metrics.Histogram
 }
 
 // New starts an engine with the given options. It panics when
@@ -303,15 +390,21 @@ func Open(opts Options) (*Engine, error) {
 		inflight:         make(map[reqKey]*task),
 		workers:          workers,
 		exactLimit:       opts.ExactNodeLimit,
+		maxPending:       opts.MaxPending,
 		searchMaxCand:    opts.SearchMaxCandidates,
 		searchMinResembl: opts.SearchMinResemblance,
 		snapshotEvery:    opts.SnapshotEvery,
 	}
+	if !opts.NoMetrics {
+		e.reg = metrics.NewRegistry()
+	}
+	e.initMetrics()
 	e.searchIdx = search.NewIndex(e.cat)
 	if opts.StorePath != "" {
 		if err := e.openStore(opts.StorePath); err != nil {
 			return nil, err
 		}
+		e.initStoreMetrics()
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -382,20 +475,30 @@ func (e *Engine) Stats() Stats {
 		Executed:  e.executed.Load(),
 		Coalesced: e.coalesced.Load(),
 		Errors:    e.errors.Load(),
+		Shed:      e.shed.Load(),
+		Pending:   e.pending.Load(),
 		Batches:   e.batches.Load(),
 		Searches:  e.searches.Load(),
 		Workers:   e.workers,
 	}
 }
 
-// Match schedules one request and waits for its result (or ctx
-// cancellation; the computation itself is not aborted, as coalesced
-// peers may still want it).
+// Match schedules one request and waits for its result. An
+// already-expired context is rejected before any work is enqueued; a
+// context that dies while the request is queued or running detaches
+// the waiter, and when it was the last one the computation itself is
+// cancelled cooperatively (coalesced peers keep it alive as long as
+// any of them still wants the result). Both cases return ErrDeadline.
 func (e *Engine) Match(ctx context.Context, req Request) Result {
+	if err := ctx.Err(); err != nil {
+		e.requests.Add(1)
+		e.errors.Add(1)
+		return Result{Err: decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, err))}
+	}
 	t, coalesced, err := e.submit(req)
 	if err != nil {
 		e.errors.Add(1)
-		return Result{Err: err}
+		return Result{Err: decorate(ctx, err)}
 	}
 	return e.wait(ctx, t, coalesced)
 }
@@ -408,6 +511,16 @@ func (e *Engine) Match(ctx context.Context, req Request) Result {
 func (e *Engine) MatchBatch(ctx context.Context, reqs []Request) []Result {
 	e.batches.Add(1)
 	results := make([]Result, len(reqs))
+	if err := ctx.Err(); err != nil {
+		// Already expired: reject the whole batch before enqueuing any
+		// work.
+		for i := range results {
+			e.requests.Add(1)
+			e.errors.Add(1)
+			results[i] = Result{Err: decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, err))}
+		}
+		return results
+	}
 	tasks := make([]*task, len(reqs))
 	flags := make([]bool, len(reqs))
 	for i, req := range reqs {
@@ -472,13 +585,27 @@ func (e *Engine) submit(req Request) (*task, bool, error) {
 	}
 
 	e.mu.Lock()
-	if t, ok := e.inflight[key]; ok {
+	if t, ok := e.inflight[key]; ok && t.attach() {
 		e.mu.Unlock()
 		e.coalesced.Add(1)
 		return t, true, nil
 	}
-	t := &task{req: req, key: key, done: make(chan struct{})}
-	e.inflight[key] = t
+	// No live in-flight task to coalesce onto (either none, or one whose
+	// waiters all gave up — its cancelled result must not be inherited).
+	// This is new work: admission control applies before anything is
+	// published or enqueued.
+	n := e.pending.Add(1)
+	if e.maxPending > 0 && n > int64(e.maxPending) {
+		e.pending.Add(-1)
+		e.mu.Unlock()
+		e.shed.Add(1)
+		return nil, false, fmt.Errorf("%w: %d tasks pending (limit %d)",
+			ErrOverloaded, n-1, e.maxPending)
+	}
+	tctx, cancel := context.WithCancel(context.Background())
+	t := &task{req: req, key: key, done: make(chan struct{}), ctx: tctx, cancel: cancel}
+	t.waiters.Store(1)
+	e.inflight[key] = t // overwrites a dead (waiterless) predecessor, if any
 	e.mu.Unlock()
 
 	e.sendMu.RLock()
@@ -488,29 +615,49 @@ func (e *Engine) submit(req Request) (*task, bool, error) {
 		// identical request may have coalesced onto it: resolve it with
 		// the error before unpublishing, or that waiter hangs forever.
 		t.res = Result{Err: fmt.Errorf("engine: closed")}
-		e.mu.Lock()
-		delete(e.inflight, key)
-		e.mu.Unlock()
+		e.unpublish(t)
+		e.pending.Add(-1)
 		close(t.done)
+		t.cancel()
 		return nil, false, fmt.Errorf("engine: closed")
 	}
+	t.enqueued = time.Now()
 	e.queue <- t
 	e.sendMu.RUnlock()
 	return t, false, nil
 }
 
-// wait blocks until the task finishes or ctx is cancelled.
+// unpublish removes a task from the inflight map — but only if it is
+// still the published entry for its key. A dead task (all waiters
+// detached) may already have been replaced by a fresh one; deleting
+// blindly would unpublish the successor and break its coalescing.
+func (e *Engine) unpublish(t *task) {
+	e.mu.Lock()
+	if e.inflight[t.key] == t {
+		delete(e.inflight, t.key)
+	}
+	e.mu.Unlock()
+}
+
+// wait blocks until the task finishes or ctx is cancelled. A waiter
+// that gives up detaches from the task; the last detach cancels the
+// task's own context, which stops the matcher cooperatively.
 func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) Result {
 	select {
 	case <-t.done:
 	case <-ctx.Done():
+		t.detach()
 		e.errors.Add(1)
-		return Result{Err: ctx.Err(), Coalesced: coalesced}
+		return Result{
+			Err:       decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, ctx.Err())),
+			Coalesced: coalesced,
+		}
 	}
 	res := t.res
 	res.Coalesced = coalesced
 	if res.Err != nil {
 		e.errors.Add(1)
+		res.Err = decorate(ctx, res.Err)
 	}
 	return res
 }
@@ -518,23 +665,37 @@ func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) Result {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
-		t.res = e.execute(t.req)
+		e.mTaskWait.Observe(time.Since(t.enqueued).Seconds())
+		runStart := time.Now()
+		t.res = e.execute(t.ctx, t.req)
+		e.mTaskRun.Observe(time.Since(runStart).Seconds())
 		e.executed.Add(1)
+		e.pending.Add(-1)
 		// Unpublish before signalling completion so a request arriving
 		// after done is closed starts a fresh computation instead of
 		// reading a task that will never change again — semantically
 		// fine either way, but unpublishing keeps the inflight map from
-		// retaining finished patterns.
-		e.mu.Lock()
-		delete(e.inflight, t.key)
-		e.mu.Unlock()
+		// retaining finished patterns. (unpublish also guards against
+		// deleting a successor task that replaced this one after every
+		// waiter detached.)
+		e.unpublish(t)
 		close(t.done)
+		t.cancel() // release the task context's resources
 	}
 }
 
-// execute runs one computation against the shared catalog.
-func (e *Engine) execute(req Request) Result {
+// execute runs one computation against the shared catalog. ctx is the
+// task's private context — cancelled only when every attached waiter
+// gave up — and is threaded into the core matcher's cooperative
+// cancellation points, so an abandoned computation stops burning its
+// worker within microseconds instead of running to completion.
+func (e *Engine) execute(ctx context.Context, req Request) Result {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		// Every waiter detached while the task was still queued: skip
+		// the work entirely.
+		return Result{Err: fmt.Errorf("%w: %w", ErrDeadline, err)}
+	}
 	// Resolve the graph and its closure as one consistent pair; a
 	// separate Get + Reach could straddle a Remove/Register of the
 	// same name and mix one graph with another's index. The
@@ -575,6 +736,11 @@ func (e *Engine) execute(req Request) Result {
 	}
 
 	if req.Algo == Simulation {
+		// The simulation fixpoint has no internal cancellation points;
+		// its cost is polynomial and small, so a pre-check suffices.
+		if err := ctx.Err(); err != nil {
+			return Result{Err: fmt.Errorf("%w: %w", ErrDeadline, err)}
+		}
 		holds := simulation.Compute(req.Pattern, g2, mat, req.Xi).Matches()
 		return Result{Holds: holds, Elapsed: time.Since(start)}
 	}
@@ -589,22 +755,26 @@ func (e *Engine) execute(req Request) Result {
 	var (
 		sigma core.Mapping
 		holds bool
+		err2  error
 	)
 	switch req.Algo {
 	case MaxCard:
-		sigma = in.CompMaxCard()
+		sigma, err2 = in.CompMaxCardCtx(ctx)
 	case MaxCard11:
-		sigma = in.CompMaxCard11()
+		sigma, err2 = in.CompMaxCard11Ctx(ctx)
 	case MaxSim:
-		sigma = in.CompMaxSim()
+		sigma, err2 = in.CompMaxSimCtx(ctx)
 	case MaxSim11:
-		sigma = in.CompMaxSim11()
+		sigma, err2 = in.CompMaxSim11Ctx(ctx)
 	case Decide:
-		sigma, holds = in.Decide()
+		sigma, holds, err2 = in.DecideCtx(ctx)
 	case Decide11:
-		sigma, holds = in.Decide11()
+		sigma, holds, err2 = in.Decide11Ctx(ctx)
 	default:
 		return Result{Err: fmt.Errorf("engine: unknown algorithm %q", req.Algo)}
+	}
+	if err2 != nil {
+		return Result{Err: err2}
 	}
 	res := Result{
 		Mapping:  sigma,

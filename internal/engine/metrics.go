@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"graphmatch/internal/metrics"
+	"graphmatch/internal/store"
+)
+
+// Metric registration for the engine and the subsystems it owns. The
+// engine is the composition root of the serving stack — catalog,
+// search index, and store all hang off it — so it also owns the one
+// metrics.Registry the whole process exposes on /metrics. The
+// transport layer (httpapi) registers its own families into the same
+// registry via Engine.Metrics().
+//
+// Naming policy: every family is phomd_<subsystem>_<what>[_unit],
+// matching ^phomd_[a-z0-9_]+$ (enforced by a lint test in httpapi).
+// Counters that already exist as engine/catalog/store atomics are
+// exposed as scrape-time CounterFunc/GaugeFunc collectors instead of
+// being double-counted.
+
+// searchCandidateBuckets histograms "how many candidates survived
+// stage 1" — a count distribution, not a latency one.
+var searchCandidateBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 250, 500, 1000}
+
+// ratioBuckets histograms values in [0, 1] (prune rates).
+var ratioBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
+// Metrics returns the engine's registry, or nil when the engine was
+// built with Options.NoMetrics (instrumentation fully disabled — the
+// configuration the overhead benchmark compares against).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// initMetrics registers the engine-pool, catalog, and search families.
+// Called once from Open, before workers start; a nil registry leaves
+// every instrument pointer nil, which the nil-safe metric methods turn
+// into no-ops on the hot path.
+func (e *Engine) initMetrics() {
+	r := e.reg
+	if r == nil {
+		return
+	}
+
+	// Worker pool.
+	e.mTaskWait = r.Histogram("phomd_engine_task_wait_seconds",
+		"Time tasks spent queued before a worker picked them up.", nil)
+	e.mTaskRun = r.Histogram("phomd_engine_task_run_seconds",
+		"Worker execution time per task (matrix build, closure lookup, matching).", nil)
+	r.GaugeFunc("phomd_engine_queue_depth",
+		"Tasks currently buffered in the worker queue.",
+		func() float64 { return float64(len(e.queue)) })
+	r.GaugeFunc("phomd_engine_pending",
+		"Admitted tasks not yet finished executing (queued + running).",
+		func() float64 { return float64(e.pending.Load()) })
+	r.GaugeFunc("phomd_engine_workers",
+		"Worker pool size.",
+		func() float64 { return float64(e.workers) })
+	r.GaugeFunc("phomd_engine_max_pending",
+		"Admission-control bound on pending tasks (0 = unlimited).",
+		func() float64 { return float64(e.maxPending) })
+	r.CounterFunc("phomd_engine_requests_total",
+		"Match submissions, including coalesced ones.",
+		func() float64 { return float64(e.requests.Load()) })
+	r.CounterFunc("phomd_engine_executed_total",
+		"Computations actually run by workers.",
+		func() float64 { return float64(e.executed.Load()) })
+	r.CounterFunc("phomd_engine_coalesced_total",
+		"Requests that attached to an identical in-flight computation.",
+		func() float64 { return float64(e.coalesced.Load()) })
+	r.CounterFunc("phomd_engine_errors_total",
+		"Requests that finished with a non-nil error.",
+		func() float64 { return float64(e.errors.Load()) })
+	r.CounterFunc("phomd_engine_shed_total",
+		"Requests rejected by admission control (HTTP 429).",
+		func() float64 { return float64(e.shed.Load()) })
+	r.CounterFunc("phomd_engine_batches_total",
+		"MatchBatch calls.",
+		func() float64 { return float64(e.batches.Load()) })
+
+	// Catalog closure cache. Scrape-time snapshots of catalog.Stats.
+	r.GaugeFunc("phomd_catalog_graphs",
+		"Registered data graphs.",
+		func() float64 { return float64(e.cat.Stats().Graphs) })
+	r.CounterFunc("phomd_catalog_closure_hits_total",
+		"Reachability lookups served from the closure cache.",
+		func() float64 { return float64(e.cat.Stats().Hits) })
+	r.CounterFunc("phomd_catalog_closure_misses_total",
+		"Reachability lookups that had to build a closure.",
+		func() float64 { return float64(e.cat.Stats().Misses) })
+	r.CounterFunc("phomd_catalog_closure_evictions_total",
+		"Closures dropped by the LRU bounds.",
+		func() float64 { return float64(e.cat.Stats().Evictions) })
+	r.GaugeFunc("phomd_catalog_resident_closures",
+		"Reachability indexes currently cached.",
+		func() float64 { return float64(e.cat.Stats().ResidentClosures) })
+	r.GaugeFunc("phomd_catalog_resident_bytes",
+		"Approximate heap held by resident closures and indexes.",
+		func() float64 { return float64(e.cat.Stats().ResidentBytes) })
+	r.GaugeFunc("phomd_catalog_resident_dense",
+		"Resident matcher indexes on the dense tier.",
+		func() float64 { return float64(e.cat.Stats().ResidentDense) })
+	r.GaugeFunc("phomd_catalog_resident_sparse",
+		"Resident matcher indexes on the candidate-sparse tier.",
+		func() float64 { return float64(e.cat.Stats().ResidentSparse) })
+	r.GaugeFunc("phomd_catalog_dense_index_bytes",
+		"Approximate heap held by dense-tier matcher indexes.",
+		func() float64 { return float64(e.cat.Stats().DenseIndexBytes) })
+	r.GaugeFunc("phomd_catalog_sparse_index_bytes",
+		"Approximate heap held by sparse-tier matcher indexes.",
+		func() float64 { return float64(e.cat.Stats().SparseIndexBytes) })
+	r.CounterFunc("phomd_catalog_closure_build_seconds_total",
+		"Cumulative wall time spent building closures and closure rows.",
+		func() float64 { return e.cat.Stats().BuildTime.Seconds() })
+
+	// Search.
+	r.CounterFunc("phomd_search_requests_total",
+		"Catalog-wide search calls.",
+		func() float64 { return float64(e.searches.Load()) })
+	e.mSearchCandidates = r.Histogram("phomd_search_candidates",
+		"Stage-1 candidates handed to the matcher per search.", searchCandidateBuckets)
+	e.mSearchPruneRatio = r.Histogram("phomd_search_prune_ratio",
+		"Fraction of the catalog stage 1 pruned per search.", ratioBuckets)
+	e.mSearchStage1 = r.Histogram("phomd_search_stage1_seconds",
+		"Stage-1 (candidate selection) wall time per search.", nil)
+	e.mSearchStage2 = r.Histogram("phomd_search_stage2_seconds",
+		"Stage-2 (ranked matching fan-out) wall time per search.", nil)
+}
+
+// initStoreMetrics registers the WAL/snapshot families and installs
+// the store observer. Called from openStore, after replay (replay does
+// not append, so nothing is missed) and before traffic.
+func (e *Engine) initStoreMetrics() {
+	r := e.reg
+	if r == nil || e.store == nil {
+		return
+	}
+	appendHist := r.Histogram("phomd_store_append_seconds",
+		"WAL append critical section (encode + write + fsync) per mutation.", nil)
+	fsyncHist := r.Histogram("phomd_store_fsync_seconds",
+		"fsync portion of each WAL append.", nil)
+	snapHist := r.Histogram("phomd_store_snapshot_seconds",
+		"Snapshot write wall time.", nil)
+	e.store.Instrument(store.Observer{
+		Append:   appendHist.Observe,
+		Fsync:    fsyncHist.Observe,
+		Snapshot: snapHist.Observe,
+	})
+	r.CounterFunc("phomd_store_appended_total",
+		"Ops logged since the store was opened.",
+		func() float64 { return float64(e.store.Stats().Appended) })
+	r.CounterFunc("phomd_store_snapshots_total",
+		"Snapshots written since the store was opened.",
+		func() float64 { return float64(e.store.Stats().Snapshots) })
+	r.GaugeFunc("phomd_store_segments",
+		"Live WAL segment files.",
+		func() float64 { return float64(e.store.Stats().Segments) })
+	r.GaugeFunc("phomd_store_wal_bytes",
+		"Total size of the live WAL segments.",
+		func() float64 { return float64(e.store.Stats().WALBytes) })
+	r.GaugeFunc("phomd_store_since_snapshot",
+		"Ops logged since the last snapshot.",
+		func() float64 { return float64(e.store.Stats().SinceSnapshot) })
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// Request-ID plumbing. The transport (internal/httpapi) assigns every
+// request an X-Request-ID — generated when the client sent none — and
+// threads it here via context, so engine-level failures carry the same
+// identifier the access log and the client response do. The helpers
+// live in this package (not httpapi) because httpapi already imports
+// engine and the dependency must stay one-directional.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request identifier.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request identifier, or "" when none was set.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// decorate prefixes an error with the context's request ID so engine
+// failures are greppable against the access log. Wrapping preserves
+// errors.Is/As chains (statusFor in httpapi depends on that).
+func decorate(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if id := RequestID(ctx); id != "" {
+		return fmt.Errorf("[req %s] %w", id, err)
+	}
+	return err
+}

@@ -157,9 +157,14 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) SearchResult {
 	if stats.Graphs > 0 {
 		stats.PruneRate = float64(stats.Pruned) / float64(stats.Graphs)
 	}
+	e.mSearchStage1.Observe(stats.Stage1.Seconds())
+	e.mSearchCandidates.Observe(float64(stats.Candidates))
+	if stats.Graphs > 0 {
+		e.mSearchPruneRatio.Observe(stats.PruneRate)
+	}
 	if err := ctx.Err(); err != nil {
 		e.errors.Add(1)
-		return SearchResult{Stats: stats, Err: err}
+		return SearchResult{Stats: stats, Err: decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, err))}
 	}
 
 	reqs := make([]Request, len(cands))
@@ -194,6 +199,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) SearchResult {
 		top.Push(search.Hit{Name: cands[i].Name, Score: primary, Tie: tie, Payload: searchPayload{cand: cands[i], res: res}})
 	}
 	stats.Stage2 = time.Since(stage2)
+	e.mSearchStage2.Observe(stats.Stage2.Seconds())
 
 	hits := make([]SearchHit, 0, top.Len())
 	for _, h := range top.Ranked() {

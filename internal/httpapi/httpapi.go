@@ -18,7 +18,14 @@
 //	POST   /v1/search          rank the catalog against a pattern (top-k)
 //	POST   /v1/admin/snapshot  compact the WAL into a fresh snapshot (store only)
 //	GET    /v1/stats           engine + catalog + store counters
-//	GET    /healthz            liveness
+//	GET    /metrics            Prometheus text exposition of every layer
+//	GET    /healthz            liveness (process up)
+//	GET    /readyz             readiness (store replayed, catalog warm)
+//
+// Observability and overload protection — request IDs, access log,
+// per-route metrics, per-request deadlines and per-endpoint
+// concurrency limits — live in observe.go and are configured through
+// Options / NewWithOptions.
 package httpapi
 
 import (
@@ -30,6 +37,7 @@ import (
 	"graphmatch/internal/catalog"
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/metrics"
 	"graphmatch/internal/store"
 )
 
@@ -219,26 +227,28 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// New returns the phomd handler over e.
+// New returns the phomd handler over e with default transport options
+// (no deadline, no limits, no access log). See NewWithOptions.
 func New(e *engine.Engine) http.Handler {
-	s := &server{eng: e}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.registerGraph)
-	mux.HandleFunc("GET /v1/graphs", s.listGraphs)
-	mux.HandleFunc("GET /v1/graphs/{name}", s.describeGraph)
-	mux.HandleFunc("PATCH /v1/graphs/{name}", s.patchGraph)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.removeGraph)
-	mux.HandleFunc("POST /v1/admin/snapshot", s.snapshot)
-	mux.HandleFunc("POST /v1/match", s.match)
-	mux.HandleFunc("POST /v1/match/batch", s.matchBatch)
-	mux.HandleFunc("POST /v1/search", s.search)
-	mux.HandleFunc("GET /v1/stats", s.stats)
-	mux.HandleFunc("GET /healthz", s.health)
-	return mux
+	return NewWithOptions(e, Options{})
 }
 
 type server struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	opts Options
+
+	// Per-endpoint concurrency gates; nil means unlimited.
+	matchSem  chan struct{}
+	searchSem chan struct{}
+	patchSem  chan struct{}
+
+	// Transport metric families; nil (engine without a registry, or a
+	// second handler over the same engine) means no-op.
+	mRequests  *metrics.CounterVec
+	mLatency   *metrics.HistogramVec
+	mRespBytes *metrics.CounterVec
+	mLimited   *metrics.CounterVec
+	mInFlight  *metrics.Gauge
 }
 
 func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +347,7 @@ func (s *server) match(w http.ResponseWriter, r *http.Request) {
 	}
 	res := s.eng.Match(r.Context(), ereq)
 	if res.Err != nil {
-		writeError(w, statusFor(res.Err), res.Err)
+		writeEngineError(w, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(req, res))
@@ -350,6 +360,11 @@ func (s *server) matchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(batch.Requests) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if s.opts.MaxBatch > 0 && len(batch.Requests) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(batch.Requests), s.opts.MaxBatch))
 		return
 	}
 	// Convert up front and dispatch only the well-formed items, so
@@ -366,15 +381,28 @@ func (s *server) matchBatch(w http.ResponseWriter, r *http.Request) {
 		ereqs = append(ereqs, ereq)
 		pos = append(pos, i)
 	}
-	for j, res := range s.eng.MatchBatch(r.Context(), ereqs) {
+	results := s.eng.MatchBatch(r.Context(), ereqs)
+	shedAll := len(results) > 0
+	for j, res := range results {
 		i := pos[j]
 		if res.Err != nil {
 			out.Results[i] = MatchResponse{Algo: batch.Requests[i].Algo, Graph: batch.Requests[i].Graph, Error: res.Err.Error()}
+			if !errors.Is(res.Err, engine.ErrOverloaded) {
+				shedAll = false
+			}
 			continue
 		}
+		shedAll = false
 		out.Results[i] = toResponse(batch.Requests[i], res)
 	}
-	// The batch as a whole is 200; per-item failures ride in "error".
+	// A batch the admission controller rejected wholesale is a 429 —
+	// the client should back off, not inspect per-item errors.
+	if shedAll {
+		writeEngineError(w, results[0].Err)
+		return
+	}
+	// Otherwise the batch as a whole is 200; per-item failures ride in
+	// "error".
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -390,7 +418,7 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	}
 	res := s.eng.Search(r.Context(), ereq)
 	if res.Err != nil {
-		writeError(w, statusFor(res.Err), res.Err)
+		writeEngineError(w, res.Err)
 		return
 	}
 	k := ereq.K
@@ -602,6 +630,10 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrNoStore):
 		return http.StatusConflict
+	case errors.Is(err, engine.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, engine.ErrDeadline):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"graphmatch/internal/engine"
+)
+
+// This file is the transport's observability and overload-protection
+// shell: request IDs, the access log, per-route metrics, per-request
+// deadlines, per-endpoint concurrency limits, GET /metrics and the
+// liveness/readiness split. The JSON handlers themselves stay in
+// httpapi.go; everything here wraps them.
+
+// DefaultMaxBatch caps POST /v1/match/batch when Options.MaxBatch is
+// left zero. A batch is dispatched concurrently into the worker pool,
+// so an unbounded one is an admission-control bypass.
+const DefaultMaxBatch = 1024
+
+// retryAfterSeconds is the Retry-After hint attached to every 429,
+// whether from the transport's concurrency limits or from the engine's
+// admission control.
+const retryAfterSeconds = "1"
+
+// Options configures the transport shell. The zero value matches the
+// pre-observability behaviour: no deadline, no limits, no access log,
+// always ready.
+type Options struct {
+	// RequestTimeout bounds each request's wall time. The deadline
+	// propagates through the engine into the matcher recursion, so a
+	// timed-out request answers 504 AND frees its worker instead of
+	// pinning it. 0 means no per-request deadline.
+	RequestTimeout time.Duration
+	// MatchConcurrency, SearchConcurrency and PatchConcurrency cap how
+	// many requests of each class may be inside their handler at once;
+	// excess requests answer 429 + Retry-After immediately instead of
+	// queueing. 0 means unlimited. MatchConcurrency covers both
+	// /v1/match and /v1/match/batch.
+	MatchConcurrency  int
+	SearchConcurrency int
+	PatchConcurrency  int
+	// MaxBatch caps the element count of one batch request; 0 applies
+	// DefaultMaxBatch, negative lifts the cap.
+	MaxBatch int
+	// AccessLog, when non-nil, receives one line per request:
+	// request id, method, path, status, response bytes, duration.
+	AccessLog *log.Logger
+	// Ready gates GET /readyz: 200 once Ready returns true, 503 before.
+	// nil means always ready. GET /healthz (liveness) is unaffected.
+	Ready func() bool
+}
+
+// NewWithOptions returns the phomd handler over e with the given
+// transport options. New(e) is NewWithOptions(e, Options{}).
+func NewWithOptions(e *engine.Engine, opts Options) http.Handler {
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	s := &server{
+		eng:       e,
+		opts:      opts,
+		matchSem:  newSem(opts.MatchConcurrency),
+		searchSem: newSem(opts.SearchConcurrency),
+		patchSem:  newSem(opts.PatchConcurrency),
+	}
+	s.initHTTPMetrics()
+
+	mux := http.NewServeMux()
+	handle := func(pattern string, sem chan struct{}, h http.HandlerFunc) {
+		mux.Handle(pattern, s.observe(pattern, sem, h))
+	}
+	handle("POST /v1/graphs", nil, s.registerGraph)
+	handle("GET /v1/graphs", nil, s.listGraphs)
+	handle("GET /v1/graphs/{name}", nil, s.describeGraph)
+	handle("PATCH /v1/graphs/{name}", s.patchSem, s.patchGraph)
+	handle("DELETE /v1/graphs/{name}", nil, s.removeGraph)
+	handle("POST /v1/admin/snapshot", nil, s.snapshot)
+	handle("POST /v1/match", s.matchSem, s.match)
+	handle("POST /v1/match/batch", s.matchSem, s.matchBatch)
+	handle("POST /v1/search", s.searchSem, s.search)
+	handle("GET /v1/stats", nil, s.stats)
+	handle("GET /healthz", nil, s.health)
+	handle("GET /readyz", nil, s.readyz)
+	if reg := e.Metrics(); reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	} else {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("metrics disabled"))
+		})
+	}
+	return mux
+}
+
+// newSem builds a concurrency-limit semaphore; 0 or negative means
+// unlimited (nil, which observe treats as "skip the gate").
+func newSem(n int) chan struct{} {
+	if n <= 0 {
+		return nil
+	}
+	return make(chan struct{}, n)
+}
+
+// initHTTPMetrics registers the transport families into the engine's
+// registry. With Options.NoMetrics on the engine there is no registry
+// and every instrument stays nil — the nil-safe metric methods make
+// the whole shell free. If another handler already registered the
+// families (two handlers over one engine), this one leaves its
+// instruments nil rather than double-registering.
+func (s *server) initHTTPMetrics() {
+	reg := s.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	for _, n := range reg.Names() {
+		if n == "phomd_http_requests_total" {
+			return
+		}
+	}
+	s.mRequests = reg.CounterVec("phomd_http_requests_total",
+		"HTTP requests by route, method and status code.",
+		"route", "method", "code")
+	s.mLatency = reg.HistogramVec("phomd_http_request_seconds",
+		"End-to-end request latency by route.", nil, "route")
+	s.mRespBytes = reg.CounterVec("phomd_http_response_bytes_total",
+		"Response body bytes by route.", "route")
+	s.mLimited = reg.CounterVec("phomd_http_limited_total",
+		"Requests answered 429 by the per-endpoint concurrency limits.",
+		"route")
+	s.mInFlight = reg.Gauge("phomd_http_in_flight",
+		"Requests currently inside a handler.")
+}
+
+// observe wraps a handler with the full transport shell, outermost to
+// innermost: request-ID assignment, in-flight accounting, the
+// concurrency gate, the per-request deadline, then the handler; after
+// it returns, per-route metrics and the access log line.
+func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mInFlight.Inc()
+		defer func() {
+			s.mInFlight.Dec()
+			s.finish(rec, r, route, id, start)
+		}()
+
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				s.mLimited.With(route).Inc()
+				rec.Header().Set("Retry-After", retryAfterSeconds)
+				writeError(rec, http.StatusTooManyRequests,
+					fmt.Errorf("concurrency limit reached for %s", route))
+				return
+			}
+		}
+
+		ctx := engine.WithRequestID(r.Context(), id)
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		h(rec, r.WithContext(ctx))
+	})
+}
+
+// finish records the per-route metrics and emits the access log line.
+func (s *server) finish(rec *statusRecorder, r *http.Request, route, id string, start time.Time) {
+	elapsed := time.Since(start)
+	s.mRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+	s.mLatency.With(route).Observe(elapsed.Seconds())
+	s.mRespBytes.With(route).Add(uint64(rec.bytes))
+	if lg := s.opts.AccessLog; lg != nil {
+		lg.Printf("req_id=%s method=%s path=%s status=%d bytes=%d dur=%s",
+			id, r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+	}
+}
+
+// readyz is the readiness probe: load balancers stop routing to a
+// not-ready instance, while healthz keeps reporting the process alive.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Ready == nil || s.opts.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+}
+
+// statusRecorder captures the status code and body size a handler
+// wrote, for metrics and the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	rec.status = code
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *statusRecorder) Write(p []byte) (int, error) {
+	n, err := rec.ResponseWriter.Write(p)
+	rec.bytes += n
+	return n, err
+}
+
+// newRequestID returns a fresh 16-hex-char identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// writeEngineError maps an engine failure to its HTTP status; 429s
+// carry the same Retry-After hint the transport-level limiter uses.
+func writeEngineError(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	writeError(w, code, err)
+}

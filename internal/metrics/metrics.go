@@ -1,0 +1,489 @@
+// Package metrics is a dependency-free metrics library exposing the
+// Prometheus text exposition format (version 0.0.4). The serving stack
+// — httpapi, engine, catalog, search, store — registers its
+// instruments here and phomd serves the registry on GET /metrics, so a
+// standard Prometheus scraper (or `phom metrics`) can watch queue
+// depth, latency distributions, cache effectiveness, and WAL fsync
+// cost without any third-party client library.
+//
+// Three instrument kinds are provided, each in plain and labeled
+// ("vector") form, plus function-backed collectors for subsystems that
+// already maintain their own atomic counters:
+//
+//   - Counter: a monotonically increasing count (requests served,
+//     records appended). Exposed with the `counter` type.
+//   - Gauge: a value that goes up and down (queue depth, resident
+//     bytes). Exposed with the `gauge` type.
+//   - Histogram: an observation distribution over configurable
+//     cumulative buckets (request latency, task wait time). Exposed as
+//     `name_bucket{le="..."}` series plus `name_sum` and `name_count`.
+//
+// All instruments are safe for concurrent use and their hot paths are
+// single atomic operations; a nil instrument is inert (every method is
+// nil-receiver-safe), so a subsystem built without a registry pays
+// nothing for its instrumentation points.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the Prometheus metric-name grammar. Deployment-specific
+// policies (phomd demands the stricter ^phomd_[a-z0-9_]+$) layer on
+// top; see the lint test in internal/httpapi.
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// labelRE is the Prometheus label-name grammar.
+var labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// DefBuckets are the default latency buckets in seconds: 100µs up to
+// 10s, a decade denser than Prometheus's defaults at the low end
+// because the matcher's hot path answers in microseconds.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing uint64 count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that may go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1. Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into cumulative buckets. The
+// upper bounds are fixed at construction; +Inf is implicit.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~20) and the early buckets
+	// are the hot ones for latency metrics.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// kind discriminates family exposition types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels []string // values, aligned with family.labelNames
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64 // function-backed counter/gauge
+}
+
+// family is one registered metric name with its type, help text, and
+// every labeled series under it.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	buckets    []float64
+
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds a set of metric families and renders them in the
+// Prometheus text exposition format. Create one with NewRegistry.
+// Registration methods panic on an invalid or duplicate name —
+// instrument registration is program structure, not input handling.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labelNames: append([]string(nil), labels...),
+		buckets:    buckets,
+		byKey:      make(map[string]*series),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	c := &Counter{}
+	f.series = append(f.series, &series{ctr: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — for subsystems that already keep their own atomic
+// counters. fn must be monotonically non-decreasing and safe to call
+// concurrently.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.series = append(f.series, &series{fn: fn})
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	g := &Gauge{}
+	f.series = append(f.series, &series{gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.series = append(f.series, &series{fn: fn})
+}
+
+// Histogram registers and returns an unlabeled histogram over the
+// given cumulative bucket upper bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	h := newHistogram(buckets)
+	f.series = append(f.series, &series{hist: h})
+	return h
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector %q needs at least one label", name))
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector %q needs at least one label", name))
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vector %q needs at least one label", name))
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the given label
+// values, which must match the family's label names positionally.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).ctr
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).gauge
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for the label
+// values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).hist
+}
+
+// child resolves (creating once) the series for one label-value tuple.
+// The payload (counter/gauge/histogram, per the family kind) is created
+// here, under the family lock — not lazily by the caller, where two
+// first-users could race on the nil check.
+func (f *family) child(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.ctr = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+	return s
+}
+
+// Names returns every registered metric name, sorted — the hook the
+// exposition-policy lint test uses.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders the registry in the text exposition format.
+// Families appear in registration order; series within a family in
+// creation order, which is stable across scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	b := &strings.Builder{}
+	for _, f := range fams {
+		f.write(b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	series := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	for _, s := range series {
+		switch {
+		case s.fn != nil:
+			writeSample(b, f.name, f.labelNames, s.labels, "", s.fn())
+		case s.ctr != nil:
+			writeSample(b, f.name, f.labelNames, s.labels, "", float64(s.ctr.Value()))
+		case s.gauge != nil:
+			writeSample(b, f.name, f.labelNames, s.labels, "", s.gauge.Value())
+		case s.hist != nil:
+			h := s.hist
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", append(f.labelNames, "le"), append(s.labels, formatFloat(bound)), "", float64(cum))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			writeSample(b, f.name+"_bucket", append(f.labelNames, "le"), append(s.labels, "+Inf"), "", float64(cum))
+			writeSample(b, f.name+"_sum", f.labelNames, s.labels, "", h.Sum())
+			writeSample(b, f.name+"_count", f.labelNames, s.labels, "", float64(cum))
+		}
+	}
+}
+
+func writeSample(b *strings.Builder, name string, labelNames, labelValues []string, _ string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 {
+		b.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelValues[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the exposition — the body of
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

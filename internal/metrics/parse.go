@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label set,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the TYPE declaration plus every
+// sample under the base name (histogram _bucket/_sum/_count samples
+// are grouped under their base family).
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", or "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text exposition and groups it into
+// families. It understands exactly the subset WritePrometheus emits
+// (plus untyped lines), which is enough for the round-trip test and
+// the phom CLI renderers. Unknown or malformed lines are an error —
+// drift in the exposition should fail loudly.
+func Parse(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	// typeOf maps a sample name to its family, accounting for the
+	// histogram suffixes that share the base family.
+	resolve := func(sample string) *Family {
+		if f, ok := fams[sample]; ok {
+			return f
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample, suf)
+			if base != sample {
+				if f, ok := fams[base]; ok && f.Type == "histogram" {
+					return f
+				}
+			}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := fams[name]
+			if f == nil {
+				f = &Family{Name: name, Type: "untyped"}
+				fams[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("metrics: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &Family{Name: name}
+				fams[name] = f
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		f := resolve(s.Name)
+		if f == nil {
+			f = &Family{Name: s.Name, Type: "untyped"}
+			fams[s.Name] = f
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseValue(valStr[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i == len(rest) {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		into[name] = b.String()
+		rest = rest[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// HistogramQuantile estimates quantile q (0..1) from the _bucket
+// samples of one histogram series, using the same linear interpolation
+// Prometheus's histogram_quantile applies. The samples must all carry
+// an "le" label; other labels are ignored (callers filter to one
+// series first). Returns NaN when the histogram is empty.
+func HistogramQuantile(q float64, buckets []Sample) float64 {
+	type bk struct {
+		le    float64
+		count float64
+	}
+	bks := make([]bk, 0, len(buckets))
+	for _, s := range buckets {
+		le, ok := s.Labels["le"]
+		if !ok {
+			continue
+		}
+		v, err := parseValue(le)
+		if err != nil {
+			continue
+		}
+		bks = append(bks, bk{le: v, count: s.Value})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	if len(bks) == 0 || bks[len(bks)-1].count == 0 {
+		return math.NaN()
+	}
+	total := bks[len(bks)-1].count
+	rank := q * total
+	for i, b := range bks {
+		if b.count >= rank {
+			lower, lowerCount := 0.0, 0.0
+			if i > 0 {
+				lower, lowerCount = bks[i-1].le, bks[i-1].count
+			}
+			if math.IsInf(b.le, 1) {
+				return lower // best estimate inside the +Inf bucket
+			}
+			inBucket := b.count - lowerCount
+			if inBucket <= 0 {
+				return b.le
+			}
+			return lower + (b.le-lower)*((rank-lowerCount)/inBucket)
+		}
+	}
+	return bks[len(bks)-1].le
+}

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"graphmatch/internal/graph"
 )
@@ -135,6 +136,35 @@ type Store struct {
 	closed        bool
 
 	lock *os.File // exclusive flock on dir/LOCK, held until Close
+
+	// obs receives durability timings (see Observer). Installed once at
+	// boot, before concurrent appends start; nil callbacks are skipped.
+	obs Observer
+}
+
+// Observer receives durability timings for instrumentation. All
+// callbacks are optional (nil = not observed) and must be cheap and
+// safe for concurrent use: Append and Fsync fire under the store lock
+// on every logged mutation, Snapshot fires once per snapshot. Seconds
+// are wall-clock durations.
+type Observer struct {
+	// Append observes the full Append critical section: encode, write,
+	// and fsync of one record.
+	Append func(seconds float64)
+	// Fsync observes just the fsync portion of an Append — the
+	// dominant, device-dependent cost the WAL pays per mutation.
+	Fsync func(seconds float64)
+	// Snapshot observes WriteSnapshot wall time.
+	Snapshot func(seconds float64)
+}
+
+// Instrument installs the observer. Call it during boot, before the
+// store sees concurrent traffic (the engine installs it right after
+// replay, alongside the persister).
+func (s *Store) Instrument(obs Observer) {
+	s.mu.Lock()
+	s.obs = obs
+	s.mu.Unlock()
 }
 
 // Open opens (creating if needed) the store directory, validates every
@@ -519,11 +549,19 @@ func (s *Store) Append(op Op) (uint64, error) {
 		}
 		return 0, cause
 	}
+	start := time.Now()
 	if err := writeRecord(s.seg, payload); err != nil {
 		return rollback(fmt.Errorf("store: appending to %s: %w", s.segPath, err))
 	}
+	syncStart := time.Now()
 	if err := syncFile(s.seg); err != nil {
 		return rollback(fmt.Errorf("store: syncing %s: %w", s.segPath, err))
+	}
+	if s.obs.Fsync != nil {
+		s.obs.Fsync(time.Since(syncStart).Seconds())
+	}
+	if s.obs.Append != nil {
+		s.obs.Append(time.Since(start).Seconds())
 	}
 	s.seq = op.Seq
 	s.appended++
@@ -588,6 +626,7 @@ func (s *Store) Rotate() (lastSeq uint64, sealed []string, err error) {
 // one (sealed segments' ops all at or below lastSeq, skipped by
 // replay); both recover exactly.
 func (s *Store) WriteSnapshot(state map[string]*graph.Graph, lastSeq uint64, sealed []string) error {
+	start := time.Now()
 	names := make([]string, 0, len(state))
 	for n := range state {
 		names = append(names, n)
@@ -657,7 +696,11 @@ func (s *Store) WriteSnapshot(state map[string]*graph.Graph, lastSeq uint64, sea
 		}
 	}
 	s.sealed = kept
+	obs := s.obs.Snapshot
 	s.mu.Unlock()
+	if obs != nil {
+		obs(time.Since(start).Seconds())
+	}
 	return nil
 }
 
