@@ -74,6 +74,9 @@ func main() {
 		case "top":
 			runTop(os.Args[2:])
 			return
+		case "repl":
+			runRepl(os.Args[2:])
+			return
 		}
 	}
 	patternPath := flag.String("pattern", "", "pattern graph G1 (JSON)")

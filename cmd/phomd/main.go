@@ -27,6 +27,17 @@
 // accepts traffic:
 //
 //	phomd -addr :8080 -store /var/lib/phomd -snapshot-every 1000
+//
+// With -follow URL (requires -store) the process is a read-only
+// replica: it boots from its local snapshot + WAL, then tails the
+// primary's replication stream (GET /v1/replicate/since/{seq}),
+// applying every record through the ordinary catalog path and
+// persisting it locally, so a restarted follower resumes from its own
+// tail. Followers serve reads (match, search, stats) with an
+// X-Replication-Lag header, answer mutations with 421 + the primary's
+// Location, and flip /readyz only once caught up within -ready-max-lag:
+//
+//	phomd -addr :8081 -store /var/lib/phomd-replica -follow http://primary:8080
 package main
 
 import (
@@ -85,9 +96,20 @@ func main() {
 	patchConc := flag.Int("patch-concurrency", 0, "cap concurrent PATCH /v1/graphs requests (0 = unlimited)")
 	maxBatch := flag.Int("max-batch", 0, "largest accepted /v1/match/batch element count (0 = default, -1 = unlimited)")
 	accessLog := flag.Bool("access-log", false, "log one line per request (id, method, path, status, bytes, duration) to stderr")
+	follow := flag.String("follow", "", "replicate from the phomd primary at this base URL (read-only follower mode; needs -store)")
+	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower /readyz stays 503 while replication lag exceeds this many ops; needs -follow")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
+
+	if *follow != "" {
+		if *storePath == "" {
+			log.Fatalf("phomd: -follow requires -store (the follower persists what it replicates)")
+		}
+		if len(loads) > 0 {
+			log.Fatalf("phomd: -load conflicts with -follow (a follower's catalog comes from the primary)")
+		}
+	}
 
 	tier, err := closure.ParseTierPolicy(*reachTier)
 	if err != nil {
@@ -111,12 +133,15 @@ func main() {
 
 	// Bind the listener before the (possibly long) store replay so
 	// orchestrators see the port up immediately: while the engine boots,
-	// a placeholder handler answers /healthz 200 (the process is alive),
-	// /readyz 503 (don't route traffic yet), and everything else 503.
-	// Once the engine is open and the -load graphs are registered, the
-	// real handler is swapped in atomically and /readyz flips to 200.
+	// a placeholder handler answers /healthz 200 (the process is alive)
+	// and everything else 503 with a Retry-After derived from the
+	// replay's observed progress — a 30-second replay tells clients to
+	// come back near its end, not every second. Once the engine is open
+	// and the -load graphs are registered, the real handler is swapped
+	// in atomically and /readyz flips to 200.
+	est := httpapi.NewReplayEstimator()
 	var handler atomic.Value // of http.Handler
-	handler.Store(bootingHandler())
+	handler.Store(httpapi.Booting(est))
 	srv := &http.Server{
 		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			handler.Load().(http.Handler).ServeHTTP(w, r)
@@ -147,6 +172,8 @@ func main() {
 		SearchMinResemblance: *searchMinRes,
 		StorePath:            *storePath,
 		SnapshotEvery:        *snapshotEvery,
+		FollowURL:            *follow,
+		ReplayProgress:       est.Observe,
 	})
 	if err != nil {
 		log.Fatalf("phomd: opening engine: %v", err)
@@ -196,8 +223,22 @@ func main() {
 		}()
 	}
 
-	// Warm-up done: swap in the real API and flip readiness.
+	// Warm-up done: swap in the real API and flip readiness. A follower
+	// is ready only once it has provably been at the primary's head and
+	// its lag is within -ready-max-lag — a cold replica that would serve
+	// arbitrarily stale reads keeps answering /readyz 503, so load
+	// balancers leave it out of rotation until it catches up.
 	var ready atomic.Bool
+	readyFn := ready.Load
+	if *follow != "" {
+		readyFn = func() bool {
+			if !ready.Load() {
+				return false
+			}
+			rs, ok := eng.ReplStats()
+			return ok && rs.SyncedOnce && !rs.Diverged && rs.LagSeq <= *readyMaxLag
+		}
+	}
 	var lg *log.Logger
 	if *accessLog {
 		lg = log.New(os.Stderr, "access ", log.LstdFlags|log.Lmicroseconds)
@@ -209,7 +250,7 @@ func main() {
 		PatchConcurrency:  *patchConc,
 		MaxBatch:          *maxBatch,
 		AccessLog:         lg,
-		Ready:             ready.Load,
+		Ready:             readyFn,
 	}))
 	ready.Store(true)
 
@@ -232,8 +273,13 @@ func main() {
 		}
 	}()
 
-	log.Printf("phomd ready on %s (%d workers, max-pending %d, request-timeout %v)",
-		ln.Addr(), eng.Stats().Workers, pending, *requestTimeout)
+	if *follow != "" {
+		log.Printf("phomd following %s on %s (%d workers, ready-max-lag %d)",
+			*follow, ln.Addr(), eng.Stats().Workers, *readyMaxLag)
+	} else {
+		log.Printf("phomd ready on %s (%d workers, max-pending %d, request-timeout %v)",
+			ln.Addr(), eng.Stats().Workers, pending, *requestTimeout)
+	}
 	err = <-serveErr
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		// Close before exiting even on a listener failure: -load
@@ -252,23 +298,6 @@ func main() {
 	} else {
 		log.Printf("phomd stopped")
 	}
-}
-
-// bootingHandler serves while the engine replays its store: liveness
-// says the process is up, readiness and every API route say "not yet".
-func bootingHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, `{"status":"starting"}`)
-	})
-	return mux
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

@@ -408,6 +408,57 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 	return ng, nil
 }
 
+// Replace swaps the entire registry for state in one lock hold: every
+// current graph is removed (the mutation hook fires so the search
+// index drops it), every graph in state is registered (the hook fires
+// again), and no observer ever sees a mixture of old and new. It is
+// the follower's bootstrap path — the primary shipped a full catalog
+// at an exact seq — so, unlike Register/Remove, it never consults the
+// persister: the caller owns durability and has already landed the
+// store on a snapshot of exactly this state. Like Register, closures
+// of the new graphs are warmed eagerly after the swap.
+func (c *Catalog) Replace(state map[string]*graph.Graph) error {
+	names := make([]string, 0, len(state))
+	for name, g := range state {
+		if name == "" {
+			return fmt.Errorf("catalog: empty graph name")
+		}
+		if g == nil {
+			return fmt.Errorf("catalog: nil graph %q", name)
+		}
+		g.Finish()
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	c.mu.Lock()
+	old := make([]string, 0, len(c.graphs))
+	for n := range c.graphs {
+		old = append(old, n)
+	}
+	sort.Strings(old)
+	for _, n := range old {
+		ge := c.graphs[n]
+		delete(c.graphs, n)
+		if c.onMutate != nil {
+			c.onMutate(n, ge.g, true)
+		}
+		c.dropClosuresLocked(n)
+	}
+	for _, n := range names {
+		c.graphs[n] = &graphEntry{g: state[n]}
+		if c.onMutate != nil {
+			c.onMutate(n, state[n], false)
+		}
+	}
+	c.mu.Unlock()
+	// Warm-ups, like Register's: the swap is committed; a warm-up can
+	// only fail if a concurrent mutation already took the name.
+	for _, n := range names {
+		_, _ = c.Reach(n, 0)
+	}
+	return nil
+}
+
 // dropClosuresLocked evicts every cached closure derived from name.
 // Callers hold c.mu.
 func (c *Catalog) dropClosuresLocked(name string) {

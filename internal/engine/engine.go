@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"graphmatch/internal/core"
 	"graphmatch/internal/graph"
 	"graphmatch/internal/metrics"
+	"graphmatch/internal/repl"
 	"graphmatch/internal/search"
 	"graphmatch/internal/simmatrix"
 	"graphmatch/internal/simulation"
@@ -232,6 +235,29 @@ type Options struct {
 	// Non-positive disables automatic snapshots; explicit Snapshot
 	// calls still work.
 	SnapshotEvery int
+	// FollowURL, when non-empty, runs the engine as a read-only replica
+	// of the phomd primary at this base URL: after the local replay the
+	// engine tails the primary's WAL stream (see internal/repl),
+	// applying every record through the ordinary catalog path and
+	// persisting it to its own store, so restarts resume from the local
+	// tail. Requires StorePath. Local mutations (Register, Remove,
+	// ApplyPatch) fail with ErrReadOnly.
+	FollowURL string
+	// FollowClient issues the replication stream requests; nil means a
+	// default client. Tests inject a fault transport here.
+	FollowClient *http.Client
+	// FollowStallTimeout, FollowMinBackoff and FollowMaxBackoff tune
+	// the follower's stall detector and reconnect schedule; zero keeps
+	// the repl package defaults.
+	FollowStallTimeout time.Duration
+	FollowMinBackoff   time.Duration
+	FollowMaxBackoff   time.Duration
+	// ReplayProgress, when non-nil, observes boot-time store replay:
+	// it is called as (done, total) work units — snapshot graphs, WAL
+	// ops, then catalog registrations — so a boot-phase handler can
+	// derive a Retry-After estimate. total may grow between calls (the
+	// registration count is only known once the fold finishes).
+	ReplayProgress func(done, total int)
 }
 
 // reqKey identifies a computation for coalescing. The pattern is
@@ -330,6 +356,12 @@ type Engine struct {
 	snapWg        sync.WaitGroup
 	snapPending   atomic.Bool
 
+	// Follower mode (Options.FollowURL): the repl loop tailing the
+	// primary, and the primary's base URL for 421 redirects. Both are
+	// set once in Open and never change.
+	follower   *repl.Follower
+	primaryURL string
+
 	// Admission control: pending counts admitted tasks (queued +
 	// running, coalesced attaches excluded); maxPending > 0 sheds past
 	// the bound.
@@ -395,13 +427,20 @@ func Open(opts Options) (*Engine, error) {
 		searchMinResembl: opts.SearchMinResemblance,
 		snapshotEvery:    opts.SnapshotEvery,
 	}
+	if opts.FollowURL != "" && opts.StorePath == "" {
+		return nil, fmt.Errorf("engine: FollowURL requires StorePath (the follower persists the stream to its own WAL)")
+	}
 	if !opts.NoMetrics {
 		e.reg = metrics.NewRegistry()
 	}
 	e.initMetrics()
 	e.searchIdx = search.NewIndex(e.cat)
 	if opts.StorePath != "" {
-		if err := e.openStore(opts.StorePath); err != nil {
+		// primaryURL is set before the replay so openStore knows not to
+		// install the persister: a follower's ops are logged by the
+		// replication apply path, never by the catalog.
+		e.primaryURL = strings.TrimRight(opts.FollowURL, "/")
+		if err := e.openStore(opts.StorePath, opts.ReplayProgress); err != nil {
 			return nil, err
 		}
 		e.initStoreMetrics()
@@ -409,6 +448,12 @@ func Open(opts Options) (*Engine, error) {
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
+	}
+	if opts.FollowURL != "" {
+		if err := e.startFollower(opts); err != nil {
+			e.Close()
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -422,6 +467,9 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // fsynced before it is acknowledged. See catalog.Catalog.Register for
 // ownership rules.
 func (e *Engine) Register(name string, g *graph.Graph) error {
+	if e.follower != nil {
+		return fmt.Errorf("%w: register %q on %s", ErrReadOnly, name, e.primaryURL)
+	}
 	if err := e.cat.Register(name, g); err != nil {
 		return err
 	}
@@ -434,6 +482,9 @@ func (e *Engine) Register(name string, g *graph.Graph) error {
 // against the state they already resolved. With a store, the removal
 // is durable before it is acknowledged.
 func (e *Engine) Remove(name string) error {
+	if e.follower != nil {
+		return fmt.Errorf("%w: remove %q on %s", ErrReadOnly, name, e.primaryURL)
+	}
 	if err := e.cat.Remove(name); err != nil {
 		return err
 	}
@@ -453,6 +504,12 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.sendMu.Unlock()
+	// Stop the follower first: its apply path writes the store and
+	// triggers snapshots, so no replication work may be in flight when
+	// the store closes below.
+	if e.follower != nil {
+		e.follower.Stop()
+	}
 	close(e.queue)
 	e.wg.Wait()
 	if e.store != nil {

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/repl"
+	"graphmatch/internal/store"
+)
+
+// This file wires the engine into the WAL-shipping replication of
+// internal/repl. A primary exposes its store and catalog as a
+// repl.Source (ReplSource); a follower (Options.FollowURL) runs a
+// repl.Follower whose Apply/Reset callbacks land every streamed record
+// through the ordinary catalog paths — closures rebuilt, search index
+// reindexed — and into the follower's own WAL, so a restarted follower
+// resumes from its local tail instead of re-fetching history.
+
+// ErrReadOnly rejects local mutations on a follower engine: the
+// catalog is a replica of the primary's, and a local write would
+// diverge it. The transport maps it to HTTP 421 with the primary's
+// location.
+var ErrReadOnly = errors.New("engine: read-only follower")
+
+// IsFollower reports whether the engine replicates from a primary.
+func (e *Engine) IsFollower() bool { return e.follower != nil }
+
+// PrimaryURL is the followed primary's base URL, empty on a
+// non-follower.
+func (e *Engine) PrimaryURL() string {
+	if e.follower == nil {
+		return ""
+	}
+	return e.primaryURL
+}
+
+// ReplStats snapshots the follower's replication state; ok is false on
+// a non-follower.
+func (e *Engine) ReplStats() (st repl.Stats, ok bool) {
+	if e.follower == nil {
+		return repl.Stats{}, false
+	}
+	return e.follower.Stats(), true
+}
+
+// ReplSource exposes the engine as a replication primary: the store
+// whose WAL the stream ships and the catalog export that backs
+// bootstraps. Nil without a store, and nil on a follower — chained
+// replication is not supported (a follower's WAL appends do not run
+// under the catalog lock, so the export-at-exact-seq contract the
+// bootstrap relies on would not hold).
+func (e *Engine) ReplSource() *repl.Source {
+	if e.store == nil || e.follower != nil {
+		return nil
+	}
+	return &repl.Source{Store: e.store, Export: e.cat.Export}
+}
+
+// startFollower launches the replication loop. Called at the end of
+// Open, after replay and workers: the follower resumes from the local
+// store's durable tail.
+func (e *Engine) startFollower(opts Options) error {
+	f, err := repl.New(repl.Config{
+		Primary:      opts.FollowURL,
+		Client:       opts.FollowClient,
+		Store:        e.store,
+		Apply:        e.applyReplicated,
+		Reset:        e.resetReplicated,
+		MinBackoff:   opts.FollowMinBackoff,
+		MaxBackoff:   opts.FollowMaxBackoff,
+		StallTimeout: opts.FollowStallTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	e.follower = f
+	e.initReplMetrics()
+	f.Start()
+	return nil
+}
+
+// applyReplicated is the follower's repl.Config.Apply: persist the op
+// to the local WAL at the primary's seq, then commit it through the
+// ordinary catalog path. Both run under snapMu so a concurrent local
+// snapshot (explicit or background) can never capture the append
+// without the commit — Snapshot's Rotate+Export also runs under
+// snapMu, so the (state, seq) pair it writes is always consistent. A
+// catalog rejection means local state the primary's log cannot
+// reproduce: reported as repl.ErrStateMismatch, which makes the
+// follower resync.
+func (e *Engine) applyReplicated(op store.Op) error {
+	e.snapMu.Lock()
+	if err := e.store.AppendAt(op); err != nil {
+		e.snapMu.Unlock()
+		return err
+	}
+	var err error
+	switch op.Kind {
+	case store.OpRegister:
+		err = e.cat.Register(op.Name, op.Graph)
+	case store.OpRemove:
+		err = e.cat.Remove(op.Name)
+	case store.OpPatch:
+		_, err = e.cat.Apply(op.Name, op.Patch)
+	default:
+		err = fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	e.snapMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: %v", repl.ErrStateMismatch, err)
+	}
+	e.maybeSnapshot()
+	return nil
+}
+
+// resetReplicated is the follower's repl.Config.Reset: land the local
+// store on a snapshot of the bootstrap state at the primary's seq —
+// discarding all local history — and swap the catalog to match. Under
+// snapMu for the same reason as applyReplicated.
+func (e *Engine) resetReplicated(state map[string]*graph.Graph, seq uint64) error {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if err := e.store.ReplaceWithSnapshot(state, seq); err != nil {
+		return err
+	}
+	if err := e.cat.Replace(state); err != nil {
+		return fmt.Errorf("%w: %v", repl.ErrStateMismatch, err)
+	}
+	return nil
+}

@@ -160,3 +160,51 @@ func (e *Engine) initStoreMetrics() {
 		"Ops logged since the last snapshot.",
 		func() float64 { return float64(e.store.Stats().SinceSnapshot) })
 }
+
+// initReplMetrics registers the follower's replication families.
+// Called from startFollower, before the loop starts; a primary exports
+// nothing here (its side of replication is ordinary store traffic,
+// already covered by the phomd_store_* families).
+func (e *Engine) initReplMetrics() {
+	r := e.reg
+	if r == nil || e.follower == nil {
+		return
+	}
+	f := e.follower
+	b01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	r.GaugeFunc("phomd_repl_lag_seq",
+		"Ops the primary has committed that this follower has not yet applied.",
+		func() float64 { return float64(f.Stats().LagSeq) })
+	r.GaugeFunc("phomd_repl_seconds_behind",
+		"Seconds since this follower was last provably at the primary's head (0 when caught up).",
+		func() float64 { return f.Stats().SecondsBehind })
+	r.GaugeFunc("phomd_repl_last_applied_seq",
+		"Newest primary sequence number durably applied locally.",
+		func() float64 { return float64(f.Stats().LastApplied) })
+	r.GaugeFunc("phomd_repl_primary_seq",
+		"Primary head sequence number as of the last checkpoint frame.",
+		func() float64 { return float64(f.Stats().PrimarySeq) })
+	r.GaugeFunc("phomd_repl_connected",
+		"1 while a replication stream is open to the primary.",
+		func() float64 { return b01(f.Stats().Connected) })
+	r.GaugeFunc("phomd_repl_synced_once",
+		"1 once the follower has caught up to the primary's head at least once (the readiness precondition).",
+		func() float64 { return b01(f.Stats().SyncedOnce) })
+	r.GaugeFunc("phomd_repl_diverged",
+		"1 between detecting an unrecoverable position and the resync that repairs it.",
+		func() float64 { return b01(f.Stats().Diverged) })
+	r.CounterFunc("phomd_repl_reconnects_total",
+		"Replication stream reconnect attempts.",
+		func() float64 { return float64(f.Stats().Reconnects) })
+	r.CounterFunc("phomd_repl_resyncs_total",
+		"Full bootstrap resyncs (divergence repair or behind the snapshot horizon).",
+		func() float64 { return float64(f.Stats().Resyncs) })
+	r.CounterFunc("phomd_repl_applied_total",
+		"Replicated ops applied since this process started.",
+		func() float64 { return float64(f.Stats().Applied) })
+}

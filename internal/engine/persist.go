@@ -42,13 +42,28 @@ func (p persister) LogPatch(name string, pt *graph.Patch) error {
 // closure tiers rebuild and the search index reindexes exactly once
 // per graph; by the time Open returns, the recovered catalog is warm
 // and the HTTP listener can accept traffic. The persister is installed
-// only after the replay, so recovered state is not re-logged.
-func (e *Engine) openStore(path string) error {
+// only after the replay, so recovered state is not re-logged — and not
+// at all on a follower, whose ops are logged by the replication apply
+// path instead.
+//
+// progress (Options.ReplayProgress), when non-nil, observes the work:
+// done counts snapshot graphs and WAL ops as the fold consumes them,
+// then catalog registrations; total is extended once the fold reveals
+// how many survivors there are to register.
+func (e *Engine) openStore(path string, progress func(done, total int)) error {
 	st, err := store.Open(path)
 	if err != nil {
 		return err
 	}
-	state, _, err := st.FoldState()
+	snapGraphs, walOps := st.ReplayPlan()
+	done, total := 0, snapGraphs+walOps
+	report := func() {
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	report()
+	state, _, err := st.FoldStateObserved(func() { done++; report() })
 	if err != nil {
 		st.Close()
 		return fmt.Errorf("engine: replaying %s: %w", path, err)
@@ -58,14 +73,20 @@ func (e *Engine) openStore(path string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	total = done + len(names)
+	report()
 	for _, name := range names {
 		if err := e.cat.Register(name, state[name]); err != nil {
 			st.Close()
 			return fmt.Errorf("engine: replaying %s: %w", path, err)
 		}
+		done++
+		report()
 	}
 	e.store = st
-	e.cat.SetPersister(persister{st: st})
+	if e.primaryURL == "" {
+		e.cat.SetPersister(persister{st: st})
+	}
 	return nil
 }
 
@@ -76,6 +97,9 @@ func (e *Engine) openStore(path string) error {
 // and fsynced before it is acknowledged. See graph.Patch for the edit
 // semantics.
 func (e *Engine) ApplyPatch(name string, p *graph.Patch) (*graph.Graph, error) {
+	if e.follower != nil {
+		return nil, fmt.Errorf("%w: patch %q on %s", ErrReadOnly, name, e.primaryURL)
+	}
 	g, err := e.cat.Apply(name, p)
 	if err != nil {
 		return nil, err

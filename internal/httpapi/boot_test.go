@@ -1,0 +1,122 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// clock is an injectable test clock for the estimator.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestEstimator() (*ReplayEstimator, *clock) {
+	c := &clock{t: time.Unix(1_700_000_000, 0)}
+	return &ReplayEstimator{now: c.now}, c
+}
+
+func TestReplayEstimatorRetryAfter(t *testing.T) {
+	t.Run("fresh estimator answers the minimum", func(t *testing.T) {
+		est, _ := newTestEstimator()
+		if got := est.RetryAfter(); got != bootRetryMin {
+			t.Fatalf("RetryAfter = %v, want %v", got, bootRetryMin)
+		}
+	})
+
+	t.Run("estimate follows the observed rate", func(t *testing.T) {
+		est, clk := newTestEstimator()
+		est.Observe(0, 100)
+		clk.advance(10 * time.Second)
+		est.Observe(50, 100)
+		// 50 items in 10s → 5/s → 50 remaining → 10s.
+		if got := est.RetryAfter(); got != 10*time.Second {
+			t.Fatalf("RetryAfter = %v, want 10s", got)
+		}
+		// Progress without time passing shrinks the estimate.
+		est.Observe(90, 100)
+		if got := est.RetryAfter(); got != 2*time.Second {
+			t.Fatalf("RetryAfter after 90/100 = %v, want 2s (ceil of 10/9s)", got)
+		}
+	})
+
+	t.Run("slow replay clamps to the maximum", func(t *testing.T) {
+		est, clk := newTestEstimator()
+		est.Observe(0, 1_000_000)
+		clk.advance(10 * time.Second)
+		est.Observe(10, 1_000_000)
+		// 1/s with ~1M remaining → clamped to 30s.
+		if got := est.RetryAfter(); got != bootRetryMax {
+			t.Fatalf("RetryAfter = %v, want %v", got, bootRetryMax)
+		}
+	})
+
+	t.Run("total growing mid-replay extends the estimate", func(t *testing.T) {
+		// openStore extends total once the fold reveals the survivor
+		// count; the estimator must absorb that without going stale.
+		est, clk := newTestEstimator()
+		est.Observe(0, 100)
+		clk.advance(5 * time.Second)
+		est.Observe(100, 100) // fold done: done == total, momentarily
+		if got := est.RetryAfter(); got != bootRetryMin {
+			t.Fatalf("RetryAfter at done==total = %v, want %v", got, bootRetryMin)
+		}
+		est.Observe(100, 200) // registrations revealed
+		// 100 in 5s → 20/s → 100 remaining → 5s.
+		if got := est.RetryAfter(); got != 5*time.Second {
+			t.Fatalf("RetryAfter after total grew = %v, want 5s", got)
+		}
+	})
+
+	t.Run("finished replay answers the minimum", func(t *testing.T) {
+		est, clk := newTestEstimator()
+		est.Observe(0, 10)
+		clk.advance(time.Hour) // even after a long boot
+		est.Observe(10, 10)
+		if got := est.RetryAfter(); got != bootRetryMin {
+			t.Fatalf("RetryAfter = %v, want %v", got, bootRetryMin)
+		}
+	})
+}
+
+func TestBootingHandler(t *testing.T) {
+	est, clk := newTestEstimator()
+	est.Observe(0, 100)
+	clk.advance(10 * time.Second)
+	est.Observe(50, 100)
+	h := Booting(est)
+
+	t.Run("healthz stays live", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /healthz = %d, want 200", rec.Code)
+		}
+	})
+
+	t.Run("everything else answers 503 with the estimate", func(t *testing.T) {
+		for _, target := range []string{"/readyz", "/v1/stats", "/v1/match"} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("GET %s = %d, want 503", target, rec.Code)
+			}
+			if got := rec.Header().Get("Retry-After"); got != "10" {
+				t.Fatalf("GET %s Retry-After = %q, want \"10\"", target, got)
+			}
+		}
+	})
+
+	t.Run("nil estimator degrades to the minimum", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		Booting(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/graphs", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != "1" {
+			t.Fatalf("Retry-After = %q, want \"1\"", got)
+		}
+	})
+}

@@ -38,6 +38,7 @@ import (
 	"graphmatch/internal/engine"
 	"graphmatch/internal/graph"
 	"graphmatch/internal/metrics"
+	"graphmatch/internal/repl"
 	"graphmatch/internal/store"
 )
 
@@ -209,11 +210,13 @@ type SearchResponse struct {
 }
 
 // StatsResponse is the body of GET /v1/stats. Store is nil when the
-// server runs without persistence.
+// server runs without persistence; Replication is nil unless the
+// server is a follower (phomd -follow).
 type StatsResponse struct {
-	Engine  engine.Stats `json:"engine"`
-	Catalog catalogStats `json:"catalog"`
-	Store   *store.Stats `json:"store,omitempty"`
+	Engine      engine.Stats `json:"engine"`
+	Catalog     catalogStats `json:"catalog"`
+	Store       *store.Stats `json:"store,omitempty"`
+	Replication *repl.Stats  `json:"replication,omitempty"`
 }
 
 // catalogStats extends catalog.Stats with the derived hit rate so
@@ -236,6 +239,9 @@ func New(e *engine.Engine) http.Handler {
 type server struct {
 	eng  *engine.Engine
 	opts Options
+	// follower is fixed at construction: whether eng replicates from a
+	// primary (and so should advertise X-Replication-Lag on responses).
+	follower bool
 
 	// Per-endpoint concurrency gates; nil means unlimited.
 	matchSem  chan struct{}
@@ -265,7 +271,7 @@ func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.Register(req.Name, req.Graph); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeMutationError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, RegisterResponse{
@@ -305,9 +311,9 @@ func (s *server) patchGraph(w http.ResponseWriter, r *http.Request) {
 	// catalog.Apply and surfaces as ErrBadPatch (400 via statusFor).
 	g, err := s.eng.ApplyPatch(name, req.toPatch())
 	if err != nil {
-		// catalog.ErrBadPatch → 400, ErrNotFound → 404 via statusFor;
-		// anything else (store I/O) is a genuine 500.
-		writeError(w, statusFor(err), err)
+		// catalog.ErrBadPatch → 400, ErrNotFound → 404, follower → 421
+		// via statusFor; anything else (store I/O) is a genuine 500.
+		s.writeMutationError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PatchResponse{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
@@ -329,7 +335,7 @@ func (s *server) removeGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.Remove(name); err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeMutationError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RemoveResponse{Name: name, Removed: true})
@@ -465,6 +471,9 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st, ok := s.eng.StoreStats(); ok {
 		out.Store = &st
+	}
+	if rs, ok := s.eng.ReplStats(); ok {
+		out.Replication = &rs
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -630,6 +639,11 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrNoStore):
 		return http.StatusConflict
+	case errors.Is(err, engine.ErrReadOnly):
+		// 421 Misdirected Request: this replica cannot take the
+		// mutation; the Location header (writeMutationError) names the
+		// primary that can.
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, engine.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrDeadline):
@@ -647,4 +661,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeMutationError is writeError for the mutation routes, plus the
+// follower redirect: a read-only replica answers 421 with a Location
+// header pointing at the primary's copy of the same resource, so
+// clients can repeat the mutation there.
+func (s *server) writeMutationError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, engine.ErrReadOnly) {
+		if p := s.eng.PrimaryURL(); p != "" {
+			w.Header().Set("Location", p+r.URL.RequestURI())
+		}
+	}
+	writeError(w, statusFor(err), err)
 }

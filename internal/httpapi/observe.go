@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"graphmatch/internal/engine"
+	"graphmatch/internal/repl"
 )
 
 // This file is the transport's observability and overload-protection
@@ -70,6 +71,7 @@ func NewWithOptions(e *engine.Engine, opts Options) http.Handler {
 		searchSem: newSem(opts.SearchConcurrency),
 		patchSem:  newSem(opts.PatchConcurrency),
 	}
+	_, s.follower = e.ReplStats()
 	s.initHTTPMetrics()
 
 	mux := http.NewServeMux()
@@ -88,6 +90,13 @@ func NewWithOptions(e *engine.Engine, opts Options) http.Handler {
 	handle("GET /v1/stats", nil, s.stats)
 	handle("GET /healthz", nil, s.health)
 	handle("GET /readyz", nil, s.readyz)
+	if src := e.ReplSource(); src != nil {
+		// The replication stream is mounted outside the observe shell:
+		// it is unbounded by design, so the per-request deadline must
+		// not cut it, and a stream that lives for hours would only
+		// distort the latency histograms.
+		mux.Handle("GET /v1/replicate/since/{seq}", repl.NewHandler(src, repl.HandlerOptions{}))
+	}
 	if reg := e.Metrics(); reg != nil {
 		mux.Handle("GET /metrics", reg.Handler())
 	} else {
@@ -149,6 +158,15 @@ func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) ht
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
+		if s.follower {
+			// Stale-read disclosure: every follower response carries how
+			// many primary ops it is behind, so clients that care about
+			// read-your-writes can check (0 = at the primary's head as of
+			// the last checkpoint).
+			if rs, ok := s.eng.ReplStats(); ok {
+				w.Header().Set("X-Replication-Lag", strconv.FormatUint(rs.LagSeq, 10))
+			}
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mInFlight.Inc()
 		defer func() {
@@ -218,6 +236,15 @@ func (rec *statusRecorder) Write(p []byte) (int, error) {
 	n, err := rec.ResponseWriter.Write(p)
 	rec.bytes += n
 	return n, err
+}
+
+// Flush delegates to the wrapped writer so streaming handlers behind
+// the observe shell (chunked responses) still flush; without this the
+// recorder would hide the Flusher interface and buffer the stream.
+func (rec *statusRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // newRequestID returns a fresh 16-hex-char identifier.

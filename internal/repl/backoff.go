@@ -1,0 +1,40 @@
+package repl
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff is the follower's reconnect pacing: exponential doubling
+// from min to a cap at max, with ±50% jitter so a fleet of followers
+// orphaned by the same primary restart does not reconnect in
+// lockstep. A stream that makes progress resets it.
+type backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	// jitter returns a factor in [0.5, 1.5); swapped in tests for
+	// determinism.
+	jitter func() float64
+}
+
+func newBackoff(min, max time.Duration) *backoff {
+	return &backoff{min: min, max: max, jitter: func() float64 { return 0.5 + rand.Float64() }}
+}
+
+// next returns the delay before the next reconnect attempt, advancing
+// the exponential state.
+func (b *backoff) next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.min
+	} else {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return time.Duration(float64(b.cur) * b.jitter())
+}
+
+// reset restarts the schedule from min — called after a stream
+// delivers at least one valid frame.
+func (b *backoff) reset() { b.cur = 0 }

@@ -1,0 +1,397 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"graphmatch/internal/graph"
+	"graphmatch/internal/store"
+)
+
+// errDiverged tags the states only a full resync repairs: the primary
+// answered 409 (we are ahead of its log), a streamed op broke seq
+// contiguity, or the catalog rejected an op the primary committed.
+var errDiverged = errors.New("repl: follower diverged from primary")
+
+// ErrStateMismatch is how a Config.Apply implementation reports that
+// the local catalog rejected an op the primary committed (duplicate
+// name, unknown graph, invalid patch against the local copy): local
+// state the primary's log cannot reproduce, repairable only by a
+// resync. Apply errors wrapping it trigger one; any other Apply error
+// is treated as transient (disk, shutdown) and retried from the same
+// position.
+var ErrStateMismatch = errors.New("repl: local state cannot accept a primary-committed op")
+
+// Config wires a Follower to its primary and its local state.
+type Config struct {
+	// Primary is the primary's base URL, e.g. http://primary:8080.
+	Primary string
+	// Client issues the streaming GETs. Leave the default transport's
+	// Timeout zero — streams are unbounded; the stall detector handles
+	// dead links. Tests inject a FaultTransport here.
+	Client *http.Client
+	// Store is the follower's own WAL; its durable tail (Stats().LastSeq)
+	// is where a restarted follower resumes. The Follower itself never
+	// writes it — persistence belongs to Apply, below.
+	Store *store.Store
+	// Apply lands one primary-committed op: persist it to the local WAL
+	// (store.AppendAt, fsynced, at the primary's seq) and commit it
+	// through the ordinary catalog path — both under whatever lock keeps
+	// a concurrent local snapshot from capturing the append without the
+	// commit. A catalog rejection must be reported by wrapping
+	// ErrStateMismatch (the resync trigger); any other error is retried
+	// from the same position.
+	Apply func(store.Op) error
+	// Reset replaces the entire local state with a bootstrap: wipe the
+	// catalog, register every graph, and land the store on a snapshot
+	// at seq (store.ReplaceWithSnapshot).
+	Reset func(state map[string]*graph.Graph, seq uint64) error
+
+	// MinBackoff/MaxBackoff bound the reconnect schedule (defaults
+	// 100ms and 5s); jitter of ±50% is applied on top.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// StallTimeout aborts a stream that delivers no frame for this
+	// long (default 15s). The primary checkpoints at least every
+	// CheckpointEvery even when idle, so a healthy link is never
+	// silent.
+	StallTimeout time.Duration
+}
+
+// Stats is the follower's replication state, served under /v1/stats
+// and exported on /metrics.
+type Stats struct {
+	Primary       string  `json:"primary"`
+	LastApplied   uint64  `json:"last_applied_seq"`
+	PrimarySeq    uint64  `json:"primary_seq"`
+	LagSeq        uint64  `json:"lag_seq"`
+	SecondsBehind float64 `json:"seconds_behind"`
+	Connected     bool    `json:"connected"`
+	// SyncedOnce flips when the follower first catches up to the
+	// primary's head — the readiness gate's precondition.
+	SyncedOnce bool `json:"synced_once"`
+	// Diverged is set between detecting an unrecoverable position and
+	// completing the resync that repairs it.
+	Diverged   bool   `json:"diverged"`
+	Reconnects uint64 `json:"reconnects"`
+	Resyncs    uint64 `json:"resyncs"`
+	Applied    uint64 `json:"applied"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// Follower tails a primary. Start launches the loop; Stop halts it
+// and waits. All state is behind mu and readable via Stats.
+type Follower struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	lastApplied uint64
+	primarySeq  uint64
+	connected   bool
+	syncedOnce  bool
+	diverged    bool
+	reconnects  uint64
+	resyncs     uint64
+	applied     uint64
+	lastErr     string
+	// syncedAt is the last instant the follower was provably at the
+	// primary's head; SecondsBehind measures from it while behind.
+	syncedAt time.Time
+}
+
+// New validates cfg and prepares a follower resuming from the local
+// store's durable tail. Call Start to begin.
+func New(cfg Config) (*Follower, error) {
+	if cfg.Primary == "" || cfg.Store == nil || cfg.Apply == nil || cfg.Reset == nil {
+		return nil, fmt.Errorf("repl: Config needs Primary, Store, Apply, and Reset")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = 5 * time.Second
+		if cfg.MaxBackoff < cfg.MinBackoff {
+			cfg.MaxBackoff = cfg.MinBackoff
+		}
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 15 * time.Second
+	}
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		lastApplied: cfg.Store.Stats().LastSeq,
+		syncedAt:    time.Now(),
+	}, nil
+}
+
+// Start launches the tail loop.
+func (f *Follower) Start() { go f.run() }
+
+// Stop halts the loop — aborting any in-flight stream — and waits for
+// it to exit.
+func (f *Follower) Stop() {
+	f.cancel()
+	<-f.done
+}
+
+// Stats snapshots the replication state.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{
+		Primary:     f.cfg.Primary,
+		LastApplied: f.lastApplied,
+		PrimarySeq:  f.primarySeq,
+		Connected:   f.connected,
+		SyncedOnce:  f.syncedOnce,
+		Diverged:    f.diverged,
+		Reconnects:  f.reconnects,
+		Resyncs:     f.resyncs,
+		Applied:     f.applied,
+		LastError:   f.lastErr,
+	}
+	if f.primarySeq > f.lastApplied {
+		st.LagSeq = f.primarySeq - f.lastApplied
+	}
+	if st.LagSeq > 0 || !f.connected {
+		st.SecondsBehind = time.Since(f.syncedAt).Seconds()
+	}
+	return st
+}
+
+// run is the reconnect loop: stream until the link breaks, note why,
+// back off (with jitter, reset on progress), repeat. A divergence
+// forces the next connect to request a resync.
+func (f *Follower) run() {
+	defer close(f.done)
+	bo := newBackoff(f.cfg.MinBackoff, f.cfg.MaxBackoff)
+	resync := false
+	for {
+		progress, err := f.stream(resync)
+		if f.ctx.Err() != nil {
+			return
+		}
+		resync = errors.Is(err, errDiverged)
+		f.noteDisconnect(err)
+		if progress {
+			bo.reset()
+		}
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(bo.next()):
+		}
+	}
+}
+
+// stream opens one replication connection and consumes it until an
+// error. progress reports whether at least one valid frame arrived —
+// the backoff reset condition.
+func (f *Follower) stream(resync bool) (progress bool, err error) {
+	ctx, cancel := context.WithCancel(f.ctx)
+	defer cancel()
+
+	url := fmt.Sprintf("%s/v1/replicate/since/%d", f.cfg.Primary, f.lastAppliedNow())
+	if resync {
+		url += "?resync=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		f.markDiverged()
+		return false, fmt.Errorf("%w (primary rejected seq %d)", errDiverged, f.lastAppliedNow())
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("repl: primary answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	f.setConnected(true)
+	defer f.setConnected(false)
+
+	// The stall detector: any frame rearms it; silence for StallTimeout
+	// cancels the request, failing the pending read.
+	watchdog := time.AfterFunc(f.cfg.StallTimeout, cancel)
+	defer watchdog.Stop()
+
+	br := bufio.NewReader(resp.Body)
+	for {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			if ctx.Err() != nil && f.ctx.Err() == nil {
+				err = fmt.Errorf("repl: stream stalled past %v", f.cfg.StallTimeout)
+			}
+			return progress, err
+		}
+		watchdog.Reset(f.cfg.StallTimeout)
+		progress = true
+		switch kind {
+		case frameOp:
+			op, err := store.DecodeOp(body)
+			if err != nil {
+				return progress, fmt.Errorf("repl: op frame: %w", err)
+			}
+			if err := f.applyOp(op); err != nil {
+				return progress, err
+			}
+		case frameCheckpoint:
+			seq, err := parseU64(body)
+			if err != nil {
+				return progress, err
+			}
+			f.noteCheckpoint(seq)
+		case frameReset:
+			if err := f.consumeBootstrap(br, body, watchdog); err != nil {
+				return progress, err
+			}
+		default:
+			return progress, fmt.Errorf("repl: unknown frame kind %d", kind)
+		}
+	}
+}
+
+// applyOp lands one streamed op through cfg.Apply (persist + commit).
+// Seq contiguity is strict — the primary's log assigns consecutive
+// numbers, so any gap or repeat means the stream (or our position) is
+// wrong in a way only a resync repairs; so does a state mismatch the
+// callback reports.
+func (f *Follower) applyOp(op store.Op) error {
+	last := f.lastAppliedNow()
+	if op.Seq != last+1 {
+		f.markDiverged()
+		return fmt.Errorf("%w: op seq %d after %d", errDiverged, op.Seq, last)
+	}
+	if err := f.cfg.Apply(op); err != nil {
+		if errors.Is(err, ErrStateMismatch) {
+			// The primary committed this op; a catalog that rejects it
+			// holds state the primary's log cannot reproduce. Resync.
+			f.markDiverged()
+			return fmt.Errorf("%w: applying op %d: %v", errDiverged, op.Seq, err)
+		}
+		return fmt.Errorf("repl: applying op %d: %w", op.Seq, err)
+	}
+	f.noteApplied(op.Seq)
+	return nil
+}
+
+// consumeBootstrap reads the graph frames a reset announced and swaps
+// them in as the entire local state.
+func (f *Follower) consumeBootstrap(br *bufio.Reader, header []byte, watchdog *time.Timer) error {
+	base, count, err := parseReset(header)
+	if err != nil {
+		return err
+	}
+	state := make(map[string]*graph.Graph, count)
+	for i := 0; i < count; i++ {
+		kind, body, err := readFrame(br)
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap graph %d/%d: %w", i+1, count, err)
+		}
+		watchdog.Reset(f.cfg.StallTimeout)
+		if kind != frameGraph {
+			return fmt.Errorf("repl: frame kind %d inside bootstrap", kind)
+		}
+		name, g, err := store.DecodeNamedGraph(body)
+		if err != nil {
+			return fmt.Errorf("repl: bootstrap graph %d/%d: %w", i+1, count, err)
+		}
+		state[name] = g
+	}
+	if err := f.cfg.Reset(state, base); err != nil {
+		return fmt.Errorf("repl: resetting to bootstrap at seq %d: %w", base, err)
+	}
+	f.noteReset(base)
+	return nil
+}
+
+func (f *Follower) lastAppliedNow() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastApplied
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	f.mu.Unlock()
+}
+
+func (f *Follower) markDiverged() {
+	f.mu.Lock()
+	f.diverged = true
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteApplied(seq uint64) {
+	f.mu.Lock()
+	f.lastApplied = seq
+	f.applied++
+	if f.lastApplied >= f.primarySeq {
+		f.syncedAt = time.Now()
+		f.syncedOnce = true
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteCheckpoint(primarySeq uint64) {
+	f.mu.Lock()
+	if primarySeq > f.primarySeq {
+		f.primarySeq = primarySeq
+	}
+	if f.lastApplied >= f.primarySeq {
+		f.syncedAt = time.Now()
+		f.syncedOnce = true
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteReset(base uint64) {
+	f.mu.Lock()
+	f.lastApplied = base
+	if base > f.primarySeq {
+		f.primarySeq = base
+	}
+	f.resyncs++
+	f.diverged = false
+	if f.lastApplied >= f.primarySeq {
+		f.syncedAt = time.Now()
+		f.syncedOnce = true
+	}
+	f.mu.Unlock()
+}
+
+// noteDisconnect records why a stream ended and counts the reconnect
+// the loop is about to attempt.
+func (f *Follower) noteDisconnect(err error) {
+	f.mu.Lock()
+	f.reconnects++
+	if err != nil && err != io.EOF {
+		f.lastErr = err.Error()
+	}
+	f.mu.Unlock()
+}

@@ -1,0 +1,101 @@
+// Package repl is WAL-shipping replication: a primary phomd streams
+// its write-ahead log over GET /v1/replicate/since/{seq}, and a
+// follower applies the records through the ordinary catalog commit
+// path — closures and the search index stay coherent because the ops
+// take exactly the route a local mutation would — while persisting
+// them to its own WAL so a restart resumes from the local tail.
+//
+// The wire protocol reuses the store's record framing (uint32 length,
+// payload, CRC-32C), so every frame carries its own checksum and a
+// truncated or corrupted stream is detected at the frame that
+// suffered it. Each frame's payload leads with a kind byte:
+//
+//	op          one WAL record, payload shipped verbatim off disk
+//	checkpoint  the primary's current last-acked seq; also the idle
+//	            keepalive, so a silent stream means a dead one
+//	reset       a bootstrap follows: base seq + graph count, then that
+//	            many graph frames carrying the primary's full state
+//	graph       one (name, graph) pair of a bootstrap
+//
+// A follower asks to resume from its last durably applied seq. The
+// primary tails its WAL from there — or, when the position precedes
+// its snapshot horizon (or the follower explicitly asks after
+// detecting divergence), streams a reset first. Op seqs are validated
+// strictly contiguous on the follower; any violation marks the
+// follower diverged and forces a resync, never a silent gap.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphmatch/internal/store"
+)
+
+// Frame kinds (the first payload byte).
+const (
+	frameOp         byte = 1
+	frameCheckpoint byte = 2
+	frameReset      byte = 3
+	frameGraph      byte = 4
+)
+
+// writeFrame sends one kind-tagged frame as a store record.
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	buf := make([]byte, 0, len(body)+1)
+	buf = append(buf, kind)
+	buf = append(buf, body...)
+	return store.WriteFramed(w, buf)
+}
+
+// readFrame reads one frame, splitting off the kind byte. Framing and
+// checksum errors surface exactly as the store's reader reports them
+// (io.EOF clean end, io.ErrUnexpectedEOF torn, store.IsCorrupt on a
+// checksum mismatch).
+func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+	payload, err := store.ReadFramed(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("repl: empty frame")
+	}
+	return payload[0], payload[1:], nil
+}
+
+// u64Body encodes a checkpoint body.
+func u64Body(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// parseU64 decodes a checkpoint body.
+func parseU64(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("repl: checkpoint body of %d bytes", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// resetBody encodes a reset header: the seq the bootstrap state is
+// exact at, and how many graph frames follow.
+func resetBody(base uint64, count int) []byte {
+	b := make([]byte, 8, 8+binary.MaxVarintLen64)
+	binary.LittleEndian.PutUint64(b, base)
+	return binary.AppendUvarint(b, uint64(count))
+}
+
+// parseReset decodes a reset header.
+func parseReset(body []byte) (base uint64, count int, err error) {
+	if len(body) < 8 {
+		return 0, 0, fmt.Errorf("repl: reset body of %d bytes", len(body))
+	}
+	base = binary.LittleEndian.Uint64(body)
+	v, n := binary.Uvarint(body[8:])
+	if n <= 0 || n != len(body)-8 {
+		return 0, 0, fmt.Errorf("repl: malformed reset count")
+	}
+	return base, int(v), nil
+}

@@ -109,6 +109,61 @@ func readRecord(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// The exported codec surface: the replication protocol frames its
+// wire messages with the same length+payload+CRC records the WAL
+// uses, and ships WAL op payloads verbatim, so internal/repl needs the
+// record framing and the op/graph codecs without owning a copy.
+
+// WriteFramed frames payload onto w as one store record (length,
+// payload, CRC-32C).
+func WriteFramed(w io.Writer, payload []byte) error { return writeRecord(w, payload) }
+
+// ReadFramed reads one framed record from r, validating its checksum.
+// It returns io.EOF at a clean end, io.ErrUnexpectedEOF mid-record,
+// and an error satisfying IsCorrupt on a checksum mismatch.
+func ReadFramed(r io.Reader) ([]byte, error) { return readRecord(r) }
+
+// EncodeOp serialises op into a WAL record payload.
+func EncodeOp(op Op) ([]byte, error) { return encodeOp(op) }
+
+// DecodeOp parses a WAL record payload.
+func DecodeOp(payload []byte) (Op, error) { return decodeOp(payload) }
+
+// PeekSeq extracts the sequence number from an op payload without
+// decoding the rest — the tail reader filters records by position
+// before anything needs the graph bytes.
+func PeekSeq(payload []byte) (uint64, error) {
+	d := &dec{buf: payload}
+	return d.u64()
+}
+
+// EncodeNamedGraph serialises a (name, graph) pair — the replication
+// bootstrap's unit of transfer, matching the snapshot's graph record
+// layout.
+func EncodeNamedGraph(name string, g *graph.Graph) []byte {
+	e := &enc{buf: make([]byte, 0, 1024)}
+	e.str(name)
+	encodeGraph(e, g)
+	return e.buf
+}
+
+// DecodeNamedGraph parses a payload written by EncodeNamedGraph.
+func DecodeNamedGraph(payload []byte) (string, *graph.Graph, error) {
+	d := &dec{buf: payload}
+	name, err := d.str()
+	if err != nil {
+		return "", nil, err
+	}
+	g, err := decodeGraph(d)
+	if err != nil {
+		return "", nil, err
+	}
+	if d.remaining() != 0 {
+		return "", nil, corruptf("%d trailing bytes after graph", d.remaining())
+	}
+	return name, g, nil
+}
+
 // enc is an append-only payload builder.
 type enc struct{ buf []byte }
 

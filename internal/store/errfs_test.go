@@ -1,0 +1,273 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+// errfs is the reusable error-injecting file abstraction behind the
+// WAL's failure-path tests: it swaps the package's openWALFile hook so
+// every segment the store opens for writing goes through it, then
+// fails chosen operations (write, fsync, truncate, open) with chosen
+// errors — ENOSPC, EIO — at chosen moments. PR-5 hardened these paths
+// by hand-rolling one-off fakes; this formalizes them into one helper
+// every future failure test can share.
+type errfs struct {
+	mu sync.Mutex
+	// failWrite/failSync/failTruncate, while non-nil, fail that op on
+	// every injected file. failOpen fails openWALFile itself.
+	failWrite    error
+	failSync     error
+	failTruncate error
+	failOpen     error
+	// onlyNew restricts injection to newly created segments (O_EXCL),
+	// leaving the already-open append target healthy — the rotation
+	// tests target exactly the successor-creation path.
+	onlyNew bool
+}
+
+// install swaps the hook for the duration of the test.
+func (fs *errfs) install(t *testing.T) {
+	t.Helper()
+	prev := openWALFile
+	openWALFile = func(path string, flag int, perm os.FileMode) (walFile, error) {
+		fs.mu.Lock()
+		failOpen := fs.failOpen
+		inject := !fs.onlyNew || flag&os.O_EXCL != 0
+		fs.mu.Unlock()
+		if failOpen != nil && inject {
+			return nil, failOpen
+		}
+		f, err := os.OpenFile(path, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		if !inject {
+			return f, nil
+		}
+		return &errFile{File: f, fs: fs}, nil
+	}
+	t.Cleanup(func() { openWALFile = prev })
+}
+
+func (fs *errfs) set(f func(*errfs)) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f(fs)
+}
+
+// errFile wraps a real file, consulting the shared errfs before every
+// fallible op.
+type errFile struct {
+	*os.File
+	fs *errfs
+}
+
+func (f *errFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	err := f.fs.failWrite
+	f.fs.mu.Unlock()
+	if err != nil {
+		// A short write models ENOSPC mid-record: some bytes land.
+		if len(p) > 1 {
+			f.File.Write(p[:len(p)/2])
+		}
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *errFile) Sync() error {
+	f.fs.mu.Lock()
+	err := f.fs.failSync
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *errFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	err := f.fs.failTruncate
+	f.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+var errNoSpace = errors.New("injected: no space left on device")
+
+// TestRotateSurvivesSegmentCreationFailure: a rotation whose successor
+// segment cannot be created (disk full) must fail without wedging the
+// store — appends continue into the old segment and a later rotation
+// succeeds.
+func TestRotateSurvivesSegmentCreationFailure(t *testing.T) {
+	fs := &errfs{onlyNew: true}
+	fs.install(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, s, "a", 1)
+
+	fs.set(func(fs *errfs) { fs.failSync = errNoSpace })
+	if _, _, err := s.Rotate(); err == nil {
+		t.Fatal("Rotate succeeded with a failing segment fsync")
+	}
+	fs.set(func(fs *errfs) { fs.failSync = nil })
+
+	// Store still serviceable: appends land, the retried rotation works.
+	register(t, s, "b", 2)
+	lastSeq, sealed, err := s.Rotate()
+	if err != nil {
+		t.Fatalf("retried Rotate: %v", err)
+	}
+	if lastSeq != 2 {
+		t.Fatalf("rotated at seq %d, want 2", lastSeq)
+	}
+	state := map[string]*graph.Graph{"a": testGraph(1), "b": testGraph(2)}
+	if err := s.WriteSnapshot(state, lastSeq, sealed); err != nil {
+		t.Fatal(err)
+	}
+	register(t, s, "c", 3)
+	s.Close()
+
+	got, _, err := mustOpenFold(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d graphs after faulted rotation, want 3", len(got))
+	}
+}
+
+// TestRotateSurvivesCreateOpenFailure: same serviceability contract
+// when the successor's open itself fails.
+func TestRotateSurvivesCreateOpenFailure(t *testing.T) {
+	fs := &errfs{onlyNew: true}
+	fs.install(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	register(t, s, "a", 1)
+
+	fs.set(func(fs *errfs) { fs.failOpen = errNoSpace })
+	if _, _, err := s.Rotate(); err == nil {
+		t.Fatal("Rotate succeeded with a failing segment create")
+	}
+	fs.set(func(fs *errfs) { fs.failOpen = nil })
+	register(t, s, "b", 2)
+	if _, _, err := s.Rotate(); err != nil {
+		t.Fatalf("retried Rotate: %v", err)
+	}
+}
+
+// TestAppendENOSPCRollsBack: a write failure mid-record must roll the
+// segment back so recovery never sees the partial bytes, and the store
+// keeps accepting appends.
+func TestAppendENOSPCRollsBack(t *testing.T) {
+	fs := &errfs{}
+	fs.install(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, s, "a", 1)
+
+	fs.set(func(fs *errfs) { fs.failWrite = errNoSpace })
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "b", Graph: testGraph(2)}); !errors.Is(err, errNoSpace) {
+		t.Fatalf("Append with failing write: %v, want injected ENOSPC", err)
+	}
+	fs.set(func(fs *errfs) { fs.failWrite = nil })
+
+	register(t, s, "c", 3)
+	s.Close()
+
+	state, _, err := mustOpenFold(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 2 || state["a"] == nil || state["c"] == nil {
+		t.Fatalf("recovered %v, want a and c (b was never acknowledged)", names(state))
+	}
+}
+
+// TestAppendFsyncFailureRollsBack: same contract when the record is
+// fully written but the fsync fails — the op was never acknowledged,
+// so it must not replay.
+func TestAppendFsyncFailureRollsBack(t *testing.T) {
+	fs := &errfs{}
+	fs.install(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(t, s, "a", 1)
+
+	fs.set(func(fs *errfs) { fs.failSync = errNoSpace })
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "b", Graph: testGraph(2)}); !errors.Is(err, errNoSpace) {
+		t.Fatalf("Append with failing fsync: %v, want injected ENOSPC", err)
+	}
+	fs.set(func(fs *errfs) { fs.failSync = nil })
+	register(t, s, "c", 3)
+	s.Close()
+
+	state, _, err := mustOpenFold(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 2 || state["a"] == nil || state["c"] == nil {
+		t.Fatalf("recovered %v, want a and c", names(state))
+	}
+}
+
+// TestAppendRollbackFailureIsSticky: when even the rollback truncate
+// fails, the tail state is unknown — the store must refuse every
+// further append instead of acknowledging ops after garbage.
+func TestAppendRollbackFailureIsSticky(t *testing.T) {
+	fs := &errfs{}
+	fs.install(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	register(t, s, "a", 1)
+
+	fs.set(func(fs *errfs) { fs.failWrite = errNoSpace; fs.failTruncate = errors.New("injected: truncate EIO") })
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "b", Graph: testGraph(2)}); err == nil {
+		t.Fatal("Append succeeded with failing write and truncate")
+	}
+	fs.set(func(fs *errfs) { fs.failWrite = nil; fs.failTruncate = nil })
+
+	if _, err := s.Append(Op{Kind: OpRegister, Name: "c", Graph: testGraph(3)}); err == nil {
+		t.Fatal("append accepted after a failed rollback")
+	} else if !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("post-rollback append error %q does not mark the store failed", err)
+	}
+}
+
+// mustOpenFold reopens dir and folds its state.
+func mustOpenFold(t *testing.T, dir string) (map[string]*graph.Graph, int, error) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	return s.FoldState()
+}

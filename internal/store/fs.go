@@ -1,0 +1,26 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// walFile is the slice of *os.File the append path needs. Production
+// code always talks to real files; the errfs test helper swaps
+// openWALFile to inject write, fsync, and truncate failures (ENOSPC,
+// I/O errors) without touching the kernel, so the rotation and
+// rollback failure paths stay covered by fast, deterministic tests.
+type walFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// openWALFile opens a WAL segment for writing. Tests substitute it;
+// everything else must go through it so injected faults reach every
+// append-path open (fresh segments and reopened tails alike).
+var openWALFile = func(path string, flag int, perm os.FileMode) (walFile, error) {
+	return os.OpenFile(path, flag, perm)
+}

@@ -58,7 +58,7 @@ const (
 var syncWrites = true
 
 // sync fsyncs f when durability is on.
-func syncFile(f *os.File) error {
+func syncFile(f interface{ Sync() error }) error {
 	if !syncWrites {
 		return nil
 	}
@@ -119,7 +119,7 @@ type Store struct {
 	dir string
 
 	mu            sync.Mutex
-	seg           *os.File // current append segment
+	seg           walFile // current append segment (nil when read-only)
 	segPath       string
 	segRecords    int      // records in the current append segment
 	segSize       int64    // bytes in the current append segment
@@ -128,12 +128,20 @@ type Store struct {
 	failed        error    // sticky fault: set when the log's tail state is unknown
 	seq           uint64   // last durable sequence number
 	snapshotSeq   uint64
+	snapGraphs    int // graphs in the current snapshot (replay workload)
 	appended      uint64
 	sinceSnapshot int
 	snapshots     uint64
 	walBytes      int64
 	recovered     int
 	closed        bool
+
+	// readOnly marks a store opened by OpenReadOnly: no flock, no
+	// append segment, and — critically — no repair. Damage found during
+	// the scan is remembered as a per-segment byte limit (segLimits)
+	// instead of truncated, so a live writer's files are never mutated.
+	readOnly  bool
+	segLimits map[string]int64 // read-only: validated byte prefix per segment
 
 	lock *os.File // exclusive flock on dir/LOCK, held until Close
 
@@ -207,6 +215,36 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// ErrReadOnly is returned by every mutating method of a store opened
+// with OpenReadOnly.
+var ErrReadOnly = fmt.Errorf("store: opened read-only")
+
+// OpenReadOnly opens the store for reading while skipping everything
+// Open does to claim ownership: no directory flock (a live phomd may
+// hold it), no append segment, no removal of a stale snapshot temp
+// file, and no truncation of damaged tails. Instead the scan records
+// the validated byte prefix of each segment and Replay/FoldState stop
+// there, yielding a consistent point-in-time view of the durable state
+// at open. Append, Rotate, WriteSnapshot, and friends return
+// ErrReadOnly.
+//
+// The view is a snapshot: ops the writer appends after OpenReadOnly
+// are not visible. If the writer compacts concurrently, a segment this
+// view still needs may be deleted before it is replayed; Replay then
+// fails with the underlying not-exist error and the caller should
+// simply reopen and retry.
+func OpenReadOnly(dir string) (*Store, error) {
+	s := &Store{dir: dir, readOnly: true, segLimits: make(map[string]int64)}
+	if err := s.loadSnapshotHeader(); err != nil {
+		return nil, err
+	}
+	if err := s.scanSegments(); err != nil {
+		return nil, err
+	}
+	s.sinceSnapshot = int(s.seq - s.snapshotSeq)
+	return s, nil
+}
+
 // loadSnapshotHeader reads just the snapshot's header record to learn
 // its WAL position; the graphs are decoded later, by Replay.
 func (s *Store) loadSnapshotHeader() error {
@@ -218,12 +256,13 @@ func (s *Store) loadSnapshotHeader() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	seq, _, err := readSnapshotHeader(f)
+	seq, count, err := readSnapshotHeader(f)
 	if err != nil {
 		return fmt.Errorf("store: snapshot %s: %w", snapshotName, err)
 	}
 	s.snapshotSeq = seq
 	s.seq = seq
+	s.snapGraphs = count
 	return nil
 }
 
@@ -281,6 +320,12 @@ func (s *Store) scanSegments() error {
 		}
 		s.segs = append(s.segs, path)
 		s.segRecords = records
+		if s.readOnly {
+			// Freeze the validated prefix: a live writer may keep
+			// appending past it, but this view replays exactly the
+			// records that were intact at open.
+			s.segLimits[path] = good
+		}
 		if intact {
 			if records > 0 {
 				prevSeq = lastSeq
@@ -290,6 +335,17 @@ func (s *Store) scanSegments() error {
 		}
 		// Damaged record: drop everything from it on.
 		s.recovered++
+		if s.readOnly {
+			// A reader must not repair: the "damage" may simply be the
+			// writer's in-flight append. The byte limit above already
+			// fences replay; keep a torn-header segment out of the
+			// list and ignore anything past the damage.
+			if good == 0 {
+				s.segs = s.segs[:len(s.segs)-1]
+				s.segRecords = prevRecords
+			}
+			break
+		}
 		if good == 0 {
 			// The header itself was torn: the file has no valid magic.
 			// Truncating would leave a magicless segment that accepts
@@ -368,7 +424,7 @@ func (s *Store) openAppendSegment() error {
 		return s.startSegment()
 	}
 	path := s.segs[len(s.segs)-1]
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := openWALFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -399,9 +455,13 @@ func (s *Store) startSegment() error {
 
 // createSegment creates and syncs a segment file without touching the
 // store's state, so a failure (disk full) leaves the current append
-// target untouched.
-func (s *Store) createSegment(path string) (*os.File, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+// target untouched. O_APPEND matters even on a fresh file: a rolled-
+// back append truncates the segment, and a positional fd would keep
+// writing at its old offset afterwards, leaving a zero-filled hole
+// that recovery reads as damage — silently dropping every later
+// acknowledged op.
+func (s *Store) createSegment(path string) (walFile, error) {
+	f, err := openWALFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -435,9 +495,13 @@ func (s *Store) Replay(apply func(Op) error) error {
 	s.mu.Lock()
 	segs := append([]string(nil), s.segs...)
 	snapSeq := s.snapshotSeq
+	limits := make(map[string]int64, len(s.segLimits))
+	for p, l := range s.segLimits {
+		limits[p] = l
+	}
 	s.mu.Unlock()
 	for _, path := range segs {
-		if err := replaySegment(path, snapSeq, apply); err != nil {
+		if err := replaySegment(path, limits[path], snapSeq, apply); err != nil {
 			return err
 		}
 	}
@@ -481,22 +545,29 @@ func (s *Store) replaySnapshot(apply func(Op) error) error {
 
 // replaySegment feeds one segment's ops newer than snapSeq to apply.
 // The segment was validated (and possibly truncated) at open, so any
-// damage here is an I/O failure, not a recoverable tail.
-func replaySegment(path string, snapSeq uint64, apply func(Op) error) error {
+// damage here is an I/O failure, not a recoverable tail. A non-zero
+// limit bounds the read to the validated byte prefix — the read-only
+// open records one per segment instead of truncating, since a live
+// writer may still be appending past it.
+func replaySegment(path string, limit int64, snapSeq uint64, apply func(Op) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	var r io.Reader = f
+	if limit > 0 {
+		r = io.LimitReader(f, limit)
+	}
 	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil // fully truncated segment: no records survived
 		}
 		return fmt.Errorf("store: %s: %w", path, err)
 	}
 	for {
-		payload, err := readRecord(f)
+		payload, err := readRecord(r)
 		if err == io.EOF {
 			return nil
 		}
@@ -524,16 +595,54 @@ func replaySegment(path string, snapSeq uint64, apply func(Op) error) error {
 func (s *Store) Append(op Op) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, fmt.Errorf("store: closed")
-	}
-	if s.failed != nil {
-		return 0, fmt.Errorf("store: failed: %w", s.failed)
+	if err := s.appendGuard(); err != nil {
+		return 0, err
 	}
 	op.Seq = s.seq + 1
+	if err := s.appendLocked(op); err != nil {
+		return 0, err
+	}
+	return op.Seq, nil
+}
+
+// AppendAt appends an op that already carries its sequence number —
+// the replication path, where the primary assigned the seq and the
+// follower must persist it verbatim so a restarted follower resumes
+// from the exact upstream position. The seq must be beyond the last
+// durable one; gaps are legal (a bootstrap resets the base), going
+// backwards is not.
+func (s *Store) AppendAt(op Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendGuard(); err != nil {
+		return err
+	}
+	if op.Seq <= s.seq {
+		return fmt.Errorf("store: AppendAt seq %d not beyond durable seq %d", op.Seq, s.seq)
+	}
+	return s.appendLocked(op)
+}
+
+// appendGuard rejects appends on a store that cannot take them.
+func (s *Store) appendGuard() error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if s.failed != nil {
+		return fmt.Errorf("store: failed: %w", s.failed)
+	}
+	return nil
+}
+
+// appendLocked writes op — seq already assigned — to the current
+// segment and fsyncs. Callers hold s.mu and have passed appendGuard.
+func (s *Store) appendLocked(op Op) error {
 	payload, err := encodeOp(op)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	// A failed (= vetoed) append must leave the segment exactly as it
 	// was: partial record bytes would make recovery truncate away every
@@ -542,12 +651,12 @@ func (s *Store) Append(op Op) (uint64, error) {
 	// the file back to the pre-write size; if even that fails, the tail
 	// state is unknown and the store goes sticky-failed rather than
 	// risk acknowledging ops after garbage.
-	rollback := func(cause error) (uint64, error) {
+	rollback := func(cause error) error {
 		if terr := s.seg.Truncate(s.segSize); terr != nil {
 			s.failed = fmt.Errorf("rollback of %s to %d after %v: %w", s.segPath, s.segSize, cause, terr)
-			return 0, fmt.Errorf("store: %w", s.failed)
+			return fmt.Errorf("store: %w", s.failed)
 		}
-		return 0, cause
+		return cause
 	}
 	start := time.Now()
 	if err := writeRecord(s.seg, payload); err != nil {
@@ -569,7 +678,7 @@ func (s *Store) Append(op Op) (uint64, error) {
 	s.segRecords++
 	s.segSize += recordSize(payload)
 	s.walBytes += recordSize(payload)
-	return op.Seq, nil
+	return nil
 }
 
 // Rotate seals the current WAL segment and starts a new one, returning
@@ -582,6 +691,9 @@ func (s *Store) Rotate() (lastSeq uint64, sealed []string, err error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, nil, fmt.Errorf("store: closed")
+	}
+	if s.readOnly {
+		return 0, nil, ErrReadOnly
 	}
 	if s.segRecords == 0 {
 		// The current segment holds nothing: keep appending to it and
@@ -626,14 +738,64 @@ func (s *Store) Rotate() (lastSeq uint64, sealed []string, err error) {
 // one (sealed segments' ops all at or below lastSeq, skipped by
 // replay); both recover exactly.
 func (s *Store) WriteSnapshot(state map[string]*graph.Graph, lastSeq uint64, sealed []string) error {
+	s.mu.Lock()
+	ro := s.readOnly
+	s.mu.Unlock()
+	if ro {
+		return ErrReadOnly
+	}
 	start := time.Now()
+	if err := writeSnapshotFile(s.dir, state, lastSeq); err != nil {
+		return err
+	}
+	// The rename is durable: the sealed segments' ops are all ≤ lastSeq
+	// and would be skipped by replay anyway. Reclaim them.
+	var sealedBytes int64
+	deleted := make(map[string]bool, len(sealed))
+	for _, path := range sealed {
+		if fi, err := os.Stat(path); err == nil {
+			sealedBytes += fi.Size()
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: removing sealed %s: %w", path, err)
+		}
+		deleted[path] = true
+	}
+	s.mu.Lock()
+	s.snapshotSeq = lastSeq
+	s.snapGraphs = len(state)
+	s.snapshots++
+	// Ops may have been appended while the snapshot was encoding; the
+	// exact count of not-yet-folded ops is the sequence distance, not 0.
+	s.sinceSnapshot = int(s.seq - lastSeq)
+	s.walBytes -= sealedBytes
+	kept := s.sealed[:0]
+	for _, path := range s.sealed {
+		if !deleted[path] {
+			kept = append(kept, path)
+		}
+	}
+	s.sealed = kept
+	obs := s.obs.Snapshot
+	s.mu.Unlock()
+	if obs != nil {
+		obs(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// writeSnapshotFile encodes state at WAL position lastSeq to the
+// snapshot temp file, fsyncs it, and atomically renames it into place.
+// It touches no Store state — WriteSnapshot and ReplaceWithSnapshot
+// share it and account for the result themselves.
+func writeSnapshotFile(dir string, state map[string]*graph.Graph, lastSeq uint64) error {
 	names := make([]string, 0, len(state))
 	for n := range state {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 
-	tmpPath := filepath.Join(s.dir, snapshotTmp)
+	tmpPath := filepath.Join(dir, snapshotTmp)
 	f, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -663,43 +825,58 @@ func (s *Store) WriteSnapshot(state map[string]*graph.Graph, lastSeq uint64, sea
 	if werr != nil {
 		return fmt.Errorf("store: writing snapshot: %w", werr)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := os.Rename(tmpPath, filepath.Join(dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
-		return err
-	}
-	// The rename is durable: the sealed segments' ops are all ≤ lastSeq
-	// and would be skipped by replay anyway. Reclaim them.
-	var sealedBytes int64
-	deleted := make(map[string]bool, len(sealed))
-	for _, path := range sealed {
-		if fi, err := os.Stat(path); err == nil {
-			sealedBytes += fi.Size()
-		}
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("store: removing sealed %s: %w", path, err)
-		}
-		deleted[path] = true
-	}
+	return syncDir(dir)
+}
+
+// ReplaceWithSnapshot discards the store's entire history and restarts
+// it from state at WAL position seq — the follower's landing path for
+// a replication bootstrap, whose state comes from the primary's
+// catalog export rather than the local log. Ordering makes a crash at
+// any point recoverable: the old segments are deleted first (recovery
+// then lands on the old snapshot, an older-but-consistent position the
+// follower simply re-requests), the new snapshot is renamed in second
+// (recovery lands exactly on seq), and a fresh append segment opens
+// last. A failure mid-replace leaves the log's shape unknown, so the
+// store goes sticky-failed rather than risk appending after it.
+func (s *Store) ReplaceWithSnapshot(state map[string]*graph.Graph, seq uint64) error {
 	s.mu.Lock()
-	s.snapshotSeq = lastSeq
-	s.snapshots++
-	// Ops may have been appended while the snapshot was encoding; the
-	// exact count of not-yet-folded ops is the sequence distance, not 0.
-	s.sinceSnapshot = int(s.seq - lastSeq)
-	s.walBytes -= sealedBytes
-	kept := s.sealed[:0]
-	for _, path := range s.sealed {
-		if !deleted[path] {
-			kept = append(kept, path)
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if s.failed != nil {
+		return fmt.Errorf("store: failed: %w", s.failed)
+	}
+	fail := func(err error) error {
+		s.failed = err
+		return fmt.Errorf("store: replacing with snapshot: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fail(err)
+	}
+	for _, path := range append(append([]string(nil), s.sealed...), s.segs...) {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fail(err)
 		}
 	}
-	s.sealed = kept
-	obs := s.obs.Snapshot
-	s.mu.Unlock()
-	if obs != nil {
-		obs(time.Since(start).Seconds())
+	s.sealed, s.segs = nil, nil
+	s.seg, s.segPath, s.segSize, s.segRecords, s.walBytes = nil, "", 0, 0, 0
+	if err := writeSnapshotFile(s.dir, state, seq); err != nil {
+		return fail(err)
+	}
+	s.seq = seq
+	s.snapshotSeq = seq
+	s.snapGraphs = len(state)
+	s.snapshots++
+	s.sinceSnapshot = 0
+	if err := s.startSegment(); err != nil {
+		return fail(err)
 	}
 	return nil
 }
@@ -739,7 +916,12 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	defer unlockDir(s.lock)
+	if s.lock != nil {
+		defer unlockDir(s.lock)
+	}
+	if s.seg == nil {
+		return nil // read-only stores have no append segment
+	}
 	if err := syncFile(s.seg); err != nil {
 		s.seg.Close()
 		return fmt.Errorf("store: %w", err)
@@ -762,8 +944,12 @@ func (s *Store) Abandon() {
 		return
 	}
 	s.closed = true
-	_ = s.seg.Close()
-	unlockDir(s.lock)
+	if s.seg != nil {
+		_ = s.seg.Close()
+	}
+	if s.lock != nil {
+		unlockDir(s.lock)
+	}
 }
 
 // syncDir fsyncs a directory so renames and creates within it are
@@ -789,11 +975,21 @@ func syncDir(dir string) error {
 // snapshots it directly. replayed counts the WAL ops applied on top of
 // the snapshot. FoldState must run before the first Append.
 func (s *Store) FoldState() (state map[string]*graph.Graph, replayed int, err error) {
+	return s.FoldStateObserved(nil)
+}
+
+// FoldStateObserved is FoldState with a progress callback: onOp fires
+// after each op folds in (snapshot graphs and WAL ops alike), so boot
+// can estimate replay time remaining for its Retry-After header.
+func (s *Store) FoldStateObserved(onOp func()) (state map[string]*graph.Graph, replayed int, err error) {
 	s.mu.Lock()
 	snapSeq := s.snapshotSeq
 	s.mu.Unlock()
 	state = make(map[string]*graph.Graph)
 	err = s.Replay(func(op Op) error {
+		if onOp != nil {
+			defer onOp()
+		}
 		switch op.Kind {
 		case OpRegister:
 			if _, dup := state[op.Name]; dup {
@@ -827,6 +1023,16 @@ func (s *Store) FoldState() (state map[string]*graph.Graph, replayed int, err er
 		return nil, 0, err
 	}
 	return state, replayed, nil
+}
+
+// ReplayPlan reports the boot replay workload before it runs: the
+// number of graphs in the current snapshot and the number of WAL ops
+// above it. Paired with FoldStateObserved it lets boot turn "how far
+// along is replay" into a Retry-After estimate.
+func (s *Store) ReplayPlan() (snapshotGraphs, walOps int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapGraphs, int(s.seq - s.snapshotSeq)
 }
 
 // CompactInfo reports what an offline compaction did.

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The replication tail reader. The primary's replicate endpoint polls
+// ReadSince to ship WAL records past the follower's position; it works
+// on any open store (the owning one — a read-only open sees only its
+// frozen point-in-time view, so a live primary serves from its own
+// handle).
+
+// Record is one framed WAL op exactly as stored: its sequence number
+// and the raw, CRC-validated payload. Payloads ship over the wire
+// verbatim — the primary never decodes graphs just to forward them —
+// and DecodeOp parses them on the follower.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// TruncatedHistoryError reports that the requested position precedes
+// the store's snapshot: the records were (or may already have been)
+// compacted away, and the reader needs a full bootstrap instead of a
+// tail.
+type TruncatedHistoryError struct {
+	// SnapshotSeq is the oldest position the WAL can still serve from.
+	SnapshotSeq uint64
+}
+
+func (e *TruncatedHistoryError) Error() string {
+	return fmt.Sprintf("store: history before seq %d is compacted away", e.SnapshotSeq)
+}
+
+// ReadSince returns up to max WAL records with sequence numbers beyond
+// from, in order. It reads the segment files directly, without holding
+// the store lock across I/O, so a streaming replicator does not stall
+// appends. Concurrent activity is handled, not locked out:
+//
+//   - records are capped at the last *acknowledged* seq, so an append
+//     that is mid-write (or about to be rolled back after a failed
+//     fsync) is never shipped;
+//   - a torn or corrupt tail — the writer racing us — ends the batch
+//     cleanly, to be re-read next call;
+//   - a segment deleted by a concurrent compaction is skipped if its
+//     records were already behind from, and reported as
+//     TruncatedHistoryError otherwise.
+//
+// An empty batch with a nil error means the caller is caught up.
+func (s *Store) ReadSince(from uint64, max int) ([]Record, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: closed")
+	}
+	capSeq := s.seq
+	snapSeq := s.snapshotSeq
+	segs := make([]string, 0, len(s.sealed)+len(s.segs))
+	segs = append(segs, s.sealed...)
+	segs = append(segs, s.segs...)
+	limits := make(map[string]int64, len(s.segLimits))
+	for p, l := range s.segLimits {
+		limits[p] = l
+	}
+	s.mu.Unlock()
+
+	if from < snapSeq {
+		return nil, &TruncatedHistoryError{SnapshotSeq: snapSeq}
+	}
+	if from >= capSeq || max <= 0 {
+		return nil, nil
+	}
+
+	var recs []Record
+	for i, path := range segs {
+		// Segment names carry the seq the segment was started at; every
+		// record in it is ≥ that, and every record in its predecessors
+		// is below it. A successor starting at or below from+1 proves
+		// this whole segment is behind the cursor.
+		if i+1 < len(segs) {
+			if next, ok := segStartSeq(segs[i+1]); ok && next <= from+1 {
+				continue
+			}
+		}
+		var err error
+		recs, err = readSegmentSince(path, limits[path], from, capSeq, max, recs)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Compacted away mid-read. Harmless iff its records were
+				// all behind the cursor, which holds exactly when the
+				// cursor is still at or past the (possibly just-advanced)
+				// snapshot position.
+				s.mu.Lock()
+				snapSeq = s.snapshotSeq
+				s.mu.Unlock()
+				if from >= snapSeq {
+					continue
+				}
+				return nil, &TruncatedHistoryError{SnapshotSeq: snapSeq}
+			}
+			return nil, err
+		}
+		if len(recs) > 0 {
+			from = recs[len(recs)-1].Seq
+		}
+		if len(recs) >= max {
+			break
+		}
+	}
+	return recs, nil
+}
+
+// readSegmentSince scans one segment, appending records in (from,
+// capSeq] to recs until max. Torn tails and checksum failures end the
+// scan cleanly: against a live writer they are simply the in-flight
+// append.
+func readSegmentSince(path string, limit int64, from, capSeq uint64, max int, recs []Record) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return recs, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if limit > 0 {
+		r = io.LimitReader(f, limit)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != walMagic {
+		// A header still mid-write by the segment's creator: no records.
+		return recs, nil
+	}
+	var prev uint64 // last seq seen in this file; must strictly increase
+	for len(recs) < max {
+		payload, err := readRecord(r)
+		if err == io.EOF || err == io.ErrUnexpectedEOF || IsCorrupt(err) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, fmt.Errorf("store: tailing %s: %w", path, err)
+		}
+		seq, err := PeekSeq(payload)
+		if err != nil || seq <= prev {
+			return recs, nil // damage past the validated prefix: stop here
+		}
+		prev = seq
+		if seq > capSeq {
+			return recs, nil // written but not yet acknowledged
+		}
+		if seq > from {
+			recs = append(recs, Record{Seq: seq, Payload: payload})
+		}
+	}
+	return recs, nil
+}
+
+// segStartSeq parses the starting sequence number a segment file was
+// named after.
+func segStartSeq(path string) (uint64, bool) {
+	name := filepath.Base(path)
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
