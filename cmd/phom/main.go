@@ -37,9 +37,20 @@
 //
 //	phom metrics -addr http://localhost:8080 -grep engine_
 //	phom top -addr http://localhost:8080
+//
+// The patch verb applies a live edit to a graph registered on a
+// running phomd — the JSON body of PATCH /v1/graphs/{name} (add_nodes,
+// set_content, del_edges, add_edges), read from a file or stdin:
+//
+//	phom patch -addr http://localhost:8080 web edits.json
+//	generate-edits | phom patch web
+//
+// Like snapshot, it exits non-zero on any HTTP error so mutation
+// scripts can gate on success.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -53,6 +64,7 @@ import (
 
 	"graphmatch"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/httpapi"
 	"graphmatch/internal/store"
 )
 
@@ -76,6 +88,9 @@ func main() {
 			return
 		case "repl":
 			runRepl(os.Args[2:])
+			return
+		case "patch":
+			runPatch(os.Args[2:])
 			return
 		}
 	}
@@ -297,6 +312,85 @@ func runCompact(args []string) {
 	}
 	fmt.Printf("compacted %s: %d graphs at seq %d (%d WAL ops folded in)\n",
 		*dir, info.Graphs, info.LastSeq, info.ReplayedOps)
+}
+
+// runPatch applies a live edit to a graph on a running phomd: the
+// wire-format patch JSON (see httpapi.PatchRequest) comes from a file
+// argument or stdin, is validated locally — unknown fields and an
+// empty patch are caught before the request goes out — and is sent as
+// PATCH /v1/graphs/{name}. The acknowledgement means the patch is
+// durable (when the server has a store) and already matchable.
+func runPatch(args []string) {
+	fs := flag.NewFlagSet("phom patch", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: phom patch [-addr url] <graph> [patch.json]")
+		fmt.Fprintln(os.Stderr, "reads the patch JSON from the file argument, or stdin when absent or \"-\"")
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", "http://localhost:8080", "phomd base URL")
+	_ = fs.Parse(args)
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	name := fs.Arg(0)
+
+	var (
+		raw []byte
+		err error
+	)
+	if src := fs.Arg(1); src == "" || src == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(src)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	// Validate before sending: a typo'd field name would otherwise be
+	// silently dropped server-side and turn into a confusing "empty
+	// patch" (or worse, a partial edit).
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var pr httpapi.PatchRequest
+	if err := dec.Decode(&pr); err != nil {
+		fatal(fmt.Errorf("invalid patch JSON: %w", err))
+	}
+	if len(pr.AddNodes) == 0 && len(pr.SetContent) == 0 && len(pr.DelEdges) == 0 && len(pr.AddEdges) == 0 {
+		fatal(fmt.Errorf("empty patch: nothing to apply"))
+	}
+
+	req, err := http.NewRequest(http.MethodPatch,
+		*addr+"/v1/graphs/"+name, bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			fatal(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		}
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var out httpapi.PatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		fatal(fmt.Errorf("decoding response: %w", err))
+	}
+	fmt.Printf("patched %s: %d nodes, %d edges (+%d nodes, +%d content, -%d/+%d edges)\n",
+		out.Name, out.Nodes, out.Edges,
+		len(pr.AddNodes), len(pr.SetContent), len(pr.DelEdges), len(pr.AddEdges))
 }
 
 // simWire maps the CLI's similarity names onto the engine's wire

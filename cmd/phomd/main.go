@@ -97,6 +97,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "largest accepted /v1/match/batch element count (0 = default, -1 = unlimited)")
 	accessLog := flag.Bool("access-log", false, "log one line per request (id, method, path, status, bytes, duration) to stderr")
 	follow := flag.String("follow", "", "replicate from the phomd primary at this base URL (read-only follower mode; needs -store)")
+	patchBatch := flag.Int("patch-coalesce-count", 64, "batch up to N concurrent patches per graph into one commit (group commit; ≤1 disables batching)")
+	patchWindow := flag.Duration("patch-coalesce-window", 0, "wait this long for a patch burst to accumulate before each batch commit (0 = batch only while a commit is in flight)")
+	deltaBudget := flag.Int("closure-delta-budget", 0, "incremental closure maintenance cost budget per patch (0 = auto-sized, -1 = always rebuild)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower /readyz stays 503 while replication lag exceeds this many ops; needs -follow")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
@@ -174,6 +177,9 @@ func main() {
 		SnapshotEvery:        *snapshotEvery,
 		FollowURL:            *follow,
 		ReplayProgress:       est.Observe,
+		PatchCoalesceCount:   *patchBatch,
+		PatchCoalesceWindow:  *patchWindow,
+		ClosureDeltaBudget:   *deltaBudget,
 	})
 	if err != nil {
 		log.Fatalf("phomd: opening engine: %v", err)

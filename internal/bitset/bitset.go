@@ -77,6 +77,27 @@ func (s *Set) trim() {
 	}
 }
 
+// Grown returns a set of capacity n ≥ s.Len() containing the same bits.
+// When the word count is unchanged the result shares s's storage — treat
+// both as immutable afterwards (the trim invariant keeps the shared tail
+// bits clear, so the wider view observes no phantom bits). Otherwise the
+// result is an independent copy.
+func (s *Set) Grown(n int) *Set {
+	if n < s.n {
+		panic("bitset: Grown shrinks")
+	}
+	if n == s.n {
+		return s
+	}
+	words := (n + wordBits - 1) / wordBits
+	if words == len(s.words) {
+		return &Set{words: s.words, n: n}
+	}
+	w := make([]uint64, words)
+	copy(w, s.words)
+	return &Set{words: w, n: n}
+}
+
 // Clone returns an independent copy.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}

@@ -81,6 +81,17 @@ func WithDenseMaxBytes(n int) Option {
 	return func(c *Catalog) { c.denseMaxBytes = n }
 }
 
+// WithDeltaBudget tunes incremental closure maintenance on Apply: the
+// cached closure is patched in place while the update's work estimate
+// stays under the budget, and rebuilt from scratch beyond it. Zero (the
+// default) derives the budget from the graph size — roughly half the
+// estimated rebuild cost; negative disables incremental maintenance
+// entirely, forcing the invalidate+rebuild path (the rebuild baseline
+// cmd/benchpatch measures against).
+func WithDeltaBudget(n int) Option {
+	return func(c *Catalog) { c.deltaBudget = n }
+}
+
 // Stats is a point-in-time snapshot of catalog effectiveness.
 type Stats struct {
 	// Graphs is the number of registered data graphs.
@@ -120,6 +131,12 @@ type Stats struct {
 	// BuildTime is the cumulative wall time spent building closures
 	// and closure rows.
 	BuildTime time.Duration `json:"build_ns"`
+	// PatchesIncremental counts Apply commits whose cached closure was
+	// patched in place; PatchesRebuild counts the ones that fell back to
+	// invalidate+rebuild (no cached closure, SCC reshape, or delta cone
+	// over budget).
+	PatchesIncremental uint64 `json:"patches_incremental"`
+	PatchesRebuild     uint64 `json:"patches_rebuild"`
 }
 
 // HitRate is Hits / (Hits + Misses), or 0 before any lookup.
@@ -174,15 +191,29 @@ type graphEntry struct {
 	contentSets []shingle.Set
 }
 
+// Mutation describes one committed registry change for MutationHook
+// observers.
+type Mutation struct {
+	// Removed marks a Remove; g is the graph that was registered.
+	Removed bool
+	// Patch and Prev are set on Apply and carry the changed-content
+	// delta: g was produced by applying Patch to Prev. Observers that
+	// maintain per-node derived state (the search index's shingle
+	// postings and degree signatures) use them to update only what
+	// changed instead of re-deriving the whole graph. Both are nil on
+	// Register, Replace and hook-installation replay.
+	Patch *graph.Patch
+	Prev  *graph.Graph
+}
+
 // MutationHook observes registry mutations: it is invoked once per
-// successful Register (removed = false), once per Remove
-// (removed = true, g is the graph that was registered), and once per
-// Apply (removed = false, g is the patched replacement graph — a new
-// pointer, which is how observers distinguish an in-place update from
-// a replayed Register). Hooks run synchronously under the catalog lock
-// so observers see mutations in their true order; they must return
-// quickly and must not call back into the catalog.
-type MutationHook func(name string, g *graph.Graph, removed bool)
+// successful Register, Remove and Apply (g is the patched replacement
+// graph on Apply — a new pointer, which is how observers distinguish an
+// in-place update from a replayed Register). Hooks run synchronously
+// under the catalog lock so observers see mutations in their true
+// order; they must return quickly and must not call back into the
+// catalog.
+type MutationHook func(name string, g *graph.Graph, m Mutation)
 
 // Persister is the catalog's write-ahead durability callback. Each
 // method is invoked under the catalog lock, after validation but
@@ -216,11 +247,15 @@ type Catalog struct {
 
 	onMutate MutationHook
 	persist  Persister
+	patchObs PatchObserver
 
 	tierPolicy    closure.TierPolicy
 	denseMaxBytes int
+	deltaBudget   int
 
 	hits, misses, evictions uint64
+	patchesIncremental      uint64
+	patchesRebuild          uint64
 	buildTime               time.Duration
 	residentBytes           int64
 	residentDense           int
@@ -279,7 +314,7 @@ func (c *Catalog) Register(name string, g *graph.Graph) error {
 	}
 	c.graphs[name] = &graphEntry{g: g}
 	if c.onMutate != nil {
-		c.onMutate(name, g, false)
+		c.onMutate(name, g, Mutation{})
 	}
 	c.mu.Unlock()
 	// The registration is committed (and durable, with a persister); the
@@ -319,8 +354,25 @@ func (c *Catalog) SetMutationHook(fn MutationHook) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fn(n, c.graphs[n].g, false)
+		fn(n, c.graphs[n].g, Mutation{})
 	}
+}
+
+// SetPatchObserver installs obs as the catalog's per-patch telemetry
+// sink (one at most; zero-value fields are skipped). Observations fire
+// after each Apply commit, outside the catalog lock.
+func (c *Catalog) SetPatchObserver(obs PatchObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.patchObs = obs
+}
+
+// PatchObserver receives per-Apply maintenance telemetry for the
+// metrics layer: the end-to-end patch latency in seconds and — on
+// incremental commits — the delta cone size in components.
+type PatchObserver struct {
+	Latency  func(seconds float64)
+	ConeSize func(comps float64)
 }
 
 // Remove drops a graph and every cached closure derived from it.
@@ -338,7 +390,7 @@ func (c *Catalog) Remove(name string) error {
 	}
 	delete(c.graphs, name)
 	if c.onMutate != nil {
-		c.onMutate(name, ge.g, true)
+		c.onMutate(name, ge.g, Mutation{Removed: true})
 	}
 	c.dropClosuresLocked(name)
 	return nil
@@ -348,18 +400,25 @@ func (c *Catalog) Remove(name string) error {
 // behind PATCH /v1/graphs/{name}. Registered graphs are shared
 // immutable objects (concurrent matchers and cached closures read
 // them), so the patch is applied copy-on-write — the patched clone is
-// swapped into the registry, every cached closure and index derived
-// from the old graph is invalidated, and the mutation hook fires with
-// the new graph so the search index reindexes it — all under one lock
-// hold, so observers never see a half-applied edit. The patched graph
-// is immediately matchable and searchable; its closure is rebuilt
-// eagerly, like Register's, so the first match after a patch is
-// already a cache hit. In-flight requests that resolved the old
-// (graph, closure) pair finish against that consistent pair.
+// swapped into the registry and the mutation hook fires with the new
+// graph and the patch delta so the search index updates only what
+// changed — all under one lock hold, so observers never see a
+// half-applied edit.
+//
+// The cached full closure is maintained incrementally whenever it can
+// be: the delta update (and, for the dense tier, the row patch) runs
+// outside the lock against the captured closure, and the commit swaps
+// the patched closure in alongside the graph. When the update cannot be
+// incremental — no cached closure, the patch reshapes the SCC
+// condensation, or the delta cone blows the cost budget — the closure
+// is invalidated and rebuilt eagerly, like Register's. In-flight
+// requests that resolved the old (graph, closure) pair finish against
+// that consistent pair.
 func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 	if p == nil || p.Empty() {
 		return nil, fmt.Errorf("%w: empty patch for %q", ErrBadPatch, name)
 	}
+	start := time.Now()
 	// Clone + patch outside the lock: the clone is O(nodes + edges) and
 	// the catalog mutex gates every match request's graph resolution —
 	// holding it across a 100k-node copy would stall the serving hot
@@ -368,9 +427,25 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 	// the newer graph otherwise (same optimistic pattern the search
 	// index uses for its summaries).
 	var ng *graph.Graph
+	var incremental bool
+	var coneSize int
 	for {
 		c.mu.Lock()
 		ge, ok := c.graphs[name]
+		var oldReach *closure.Reach
+		var oldIdx closure.Index
+		if ok {
+			if e, cached := c.closures[closureKey{name: name, pathLimit: 0}]; cached {
+				select {
+				case <-e.ready: // only a finished build can be patched
+					oldReach = e.reach
+					if e.idxCounted {
+						oldIdx = e.idx
+					}
+				default:
+				}
+			}
+		}
 		c.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -378,6 +453,45 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 		var err error
 		if ng, err = ge.g.ApplyPatch(p); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPatch, err)
+		}
+
+		// Incremental closure maintenance, still outside the lock: the
+		// delta is computed copy-on-write against the captured closure,
+		// so concurrent readers of the old entry are undisturbed and a
+		// lost commit race just discards the work.
+		var newReach *closure.Reach
+		var newIdx closure.Index
+		var deltaTime time.Duration
+		incremental, coneSize = false, 0
+		if oldReach != nil && c.deltaBudget >= 0 {
+			deltaStart := time.Now()
+			if nr, d, ok2 := oldReach.ApplyEdges(ge.g, len(p.AddNodes), p.DelEdges, p.AddEdges, c.deltaBudget); ok2 {
+				newReach = nr
+				incremental = true
+				coneSize = d.ConeSize()
+				switch old := oldIdx.(type) {
+				case nil:
+					// No index built yet; leave it lazy.
+				case *closure.CompIndex:
+					// The sparse tier reads straight through the Reach:
+					// rewrapping is O(1), incremental by construction.
+					newIdx = closure.NewCompIndex(newReach)
+				case *closure.Rows:
+					if rw, ok3 := closure.UpdateRows(old, oldReach, newReach, d); ok3 {
+						newIdx = rw
+					} else {
+						// Row patch declined (node growth or a wide
+						// cone): rebuild the index — cheap at the scale
+						// the dense tier admits — re-running tier
+						// selection, since the graph may have outgrown
+						// the dense budget.
+						newIdx = closure.BuildIndex(newReach, c.tierPolicy, c.denseMaxBytes)
+					}
+				default:
+					newIdx = closure.BuildIndex(newReach, c.tierPolicy, c.denseMaxBytes)
+				}
+			}
+			deltaTime = time.Since(deltaStart)
 		}
 
 		c.mu.Lock()
@@ -393,19 +507,72 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 		}
 		c.graphs[name] = &graphEntry{g: ng}
 		if c.onMutate != nil {
-			c.onMutate(name, ng, false)
+			c.onMutate(name, ng, Mutation{Patch: p, Prev: ge.g})
 		}
-		c.dropClosuresLocked(name)
+		c.buildTime += deltaTime
+		if incremental {
+			c.patchesIncremental++
+			c.installClosureLocked(name, newReach, newIdx)
+		} else {
+			c.patchesRebuild++
+			c.dropClosuresLocked(name)
+		}
 		c.mu.Unlock()
 		break
 	}
-	// Warm the closure eagerly, like Register. The patch is committed
-	// (and, with a persister, durable) at this point: a warm-up failure
-	// — only possible when a concurrent Remove takes the name, making
-	// the warm-up moot — must not be reported as a mutation failure, or
-	// a client would retry an already-applied patch.
-	_, _ = c.Reach(name, 0)
+	if !incremental {
+		// Warm the closure eagerly, like Register. The patch is
+		// committed (and, with a persister, durable) at this point: a
+		// warm-up failure — only possible when a concurrent Remove takes
+		// the name, making the warm-up moot — must not be reported as a
+		// mutation failure, or a client would retry an already-applied
+		// patch.
+		_, _ = c.Reach(name, 0)
+	}
+	c.mu.Lock()
+	obs := c.patchObs
+	c.mu.Unlock()
+	if obs.Latency != nil {
+		obs.Latency(time.Since(start).Seconds())
+	}
+	if obs.ConeSize != nil && incremental {
+		obs.ConeSize(float64(coneSize))
+	}
 	return ng, nil
+}
+
+// installClosureLocked replaces every cached closure of name with one
+// freshly patched full-closure entry (already built, ready closed) and
+// optionally its maintained index, keeping the LRU accounting exact.
+// Bounded-path-limit entries are simply dropped — they are rebuilt
+// lazily on next use. Callers hold c.mu.
+func (c *Catalog) installClosureLocked(name string, r *closure.Reach, idx closure.Index) {
+	c.dropClosuresLocked(name)
+	key := closureKey{name: name, pathLimit: 0}
+	e := &entry{key: key, ready: make(chan struct{}), reach: r}
+	close(e.ready)
+	e.elem = c.lru.PushFront(e)
+	c.closures[key] = e
+	e.bytes = int64(r.Bytes())
+	c.residentBytes += e.bytes
+	if idx != nil {
+		e.idxOnce.Do(func() { e.idx = idx })
+		ib := int64(idx.Bytes())
+		e.idxBytes = ib
+		e.idxTier = idx.Tier()
+		e.idxCounted = true
+		c.residentBytes += ib
+		switch e.idxTier {
+		case closure.TierSparse:
+			c.residentSparse++
+			c.sparseBytes += ib
+		default:
+			c.residentDense++
+			c.denseBytes += ib
+		}
+	}
+	c.evictLocked()
+	c.evictBytesLocked(e)
 }
 
 // Replace swaps the entire registry for state in one lock hold: every
@@ -440,14 +607,14 @@ func (c *Catalog) Replace(state map[string]*graph.Graph) error {
 		ge := c.graphs[n]
 		delete(c.graphs, n)
 		if c.onMutate != nil {
-			c.onMutate(n, ge.g, true)
+			c.onMutate(n, ge.g, Mutation{Removed: true})
 		}
 		c.dropClosuresLocked(n)
 	}
 	for _, n := range names {
 		c.graphs[n] = &graphEntry{g: state[n]}
 		if c.onMutate != nil {
-			c.onMutate(n, state[n], false)
+			c.onMutate(n, state[n], Mutation{})
 		}
 	}
 	c.mu.Unlock()
@@ -770,20 +937,22 @@ func (c *Catalog) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Graphs:           len(c.graphs),
-		ResidentClosures: c.lru.Len(),
-		ResidentIndexes:  c.residentDense + c.residentSparse,
-		ResidentDense:    c.residentDense,
-		ResidentSparse:   c.residentSparse,
-		DenseIndexBytes:  c.denseBytes,
-		SparseIndexBytes: c.sparseBytes,
-		ResidentBytes:    c.residentBytes,
-		MaxClosures:      c.capacity,
-		MaxBytes:         c.maxBytes,
-		TierPolicy:       string(c.tierPolicy),
-		Hits:             c.hits,
-		Misses:           c.misses,
-		Evictions:        c.evictions,
-		BuildTime:        c.buildTime,
+		Graphs:             len(c.graphs),
+		ResidentClosures:   c.lru.Len(),
+		ResidentIndexes:    c.residentDense + c.residentSparse,
+		ResidentDense:      c.residentDense,
+		ResidentSparse:     c.residentSparse,
+		DenseIndexBytes:    c.denseBytes,
+		SparseIndexBytes:   c.sparseBytes,
+		ResidentBytes:      c.residentBytes,
+		MaxClosures:        c.capacity,
+		MaxBytes:           c.maxBytes,
+		TierPolicy:         string(c.tierPolicy),
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		BuildTime:          c.buildTime,
+		PatchesIncremental: c.patchesIncremental,
+		PatchesRebuild:     c.patchesRebuild,
 	}
 }

@@ -3,6 +3,7 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -533,12 +534,12 @@ func TestMutationHook(t *testing.T) {
 		mu     sync.Mutex
 		events []event
 	)
-	c.SetMutationHook(func(name string, g *graph.Graph, removed bool) {
+	c.SetMutationHook(func(name string, g *graph.Graph, m Mutation) {
 		if g == nil {
 			t.Errorf("hook for %q got nil graph", name)
 		}
 		mu.Lock()
-		events = append(events, event{name, removed})
+		events = append(events, event{name, m.Removed})
 		mu.Unlock()
 	})
 	if err := c.Register("a", chain(2)); err != nil {
@@ -613,9 +614,11 @@ func TestApplyPatch(t *testing.T) {
 	}
 
 	var hooked *graph.Graph
-	c.SetMutationHook(func(name string, g *graph.Graph, removed bool) {
-		if name == "web" && !removed {
+	var hookedMut Mutation
+	c.SetMutationHook(func(name string, g *graph.Graph, m Mutation) {
+		if name == "web" && !m.Removed {
 			hooked = g
+			hookedMut = m
 		}
 	})
 
@@ -639,7 +642,11 @@ func TestApplyPatch(t *testing.T) {
 	if hooked != ng {
 		t.Fatal("mutation hook did not observe the patched graph")
 	}
-	// The closure was invalidated and eagerly rebuilt for the new graph.
+	if hookedMut.Patch == nil || hookedMut.Prev != old {
+		t.Fatalf("mutation hook delta = %+v, want patch and previous graph", hookedMut)
+	}
+	// The cached closure was replaced for the new graph (patched
+	// incrementally or rebuilt — either way a fresh value).
 	newReach, err := c.Reach("web", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -726,5 +733,125 @@ func TestExport(t *testing.T) {
 	ga, _ := c.Get("a")
 	if state["a"] != ga {
 		t.Fatal("export should share the registered graph objects")
+	}
+}
+
+// applyRandomPatch builds and applies a random valid patch to the named
+// graph in every given catalog, failing the test on any error or if the
+// catalogs diverge on the patched graph.
+func applyRandomPatch(t *testing.T, rng *rand.Rand, name string, cats ...*Catalog) {
+	t.Helper()
+	g, err := cats[0].Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *graph.Patch
+	for p == nil || p.Empty() {
+		p = &graph.Patch{}
+		for i := 0; i < rng.Intn(3); i++ {
+			p.AddNodes = append(p.AddNodes, graph.Node{Label: fmt.Sprintf("p%d", rng.Intn(100)), Weight: 1})
+		}
+		total := g.NumNodes() + len(p.AddNodes)
+		var existing [][2]graph.NodeID
+		g.Edges(func(from, to graph.NodeID) bool {
+			existing = append(existing, [2]graph.NodeID{from, to})
+			return true
+		})
+		seen := map[[2]graph.NodeID]bool{}
+		for i := 0; i < rng.Intn(4) && len(existing) > 0; i++ {
+			e := existing[rng.Intn(len(existing))]
+			if !seen[e] {
+				seen[e] = true
+				p.DelEdges = append(p.DelEdges, e)
+			}
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			e := [2]graph.NodeID{graph.NodeID(rng.Intn(total)), graph.NodeID(rng.Intn(total))}
+			if !seen[e] {
+				p.AddEdges = append(p.AddEdges, e)
+			}
+		}
+	}
+	for _, c := range cats {
+		if _, err := c.Apply(name, p); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+}
+
+// TestApplyIncrementalEquivalence is the closure-maintenance
+// quickcheck: a catalog patching its cached closures incrementally must
+// expose exactly the same reachability and index answers as one that
+// rebuilds from scratch (WithDeltaBudget(-1)), across both index tiers
+// and arbitrary patch sequences.
+func TestApplyIncrementalEquivalence(t *testing.T) {
+	tiers := []closure.TierPolicy{closure.PolicyDense, closure.PolicySparse}
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for _, tier := range tiers {
+		t.Run(string(tier), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)))
+				n := 4 + rng.Intn(12)
+				g := graph.New(n)
+				for i := 0; i < n; i++ {
+					g.AddNode(fmt.Sprintf("n%d", i))
+				}
+				for i := 0; i < rng.Intn(3*n); i++ {
+					g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+				}
+				g.Finish()
+
+				inc := New(0, WithTierPolicy(tier))
+				reb := New(0, WithTierPolicy(tier), WithDeltaBudget(-1))
+				for _, c := range []*Catalog{inc, reb} {
+					if err := c.Register("g", g); err != nil {
+						t.Fatal(err)
+					}
+					if _, _, _, err := c.GetWithIndex("g", 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				for step := 0; step < 6; step++ {
+					applyRandomPatch(t, rng, "g", inc, reb)
+					_, ri, ii, err := inc.GetWithIndex("g", 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, rr, ir, err := reb.GetWithIndex("g", 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ri.NumNodes() != rr.NumNodes() {
+						t.Fatalf("trial %d step %d: node counts diverge: %d vs %d", trial, step, ri.NumNodes(), rr.NumNodes())
+					}
+					for u := 0; u < ri.NumNodes(); u++ {
+						uu := graph.NodeID(u)
+						if ii.FanOut(uu) != ir.FanOut(uu) || ii.FanIn(uu) != ir.FanIn(uu) {
+							t.Fatalf("trial %d step %d: fan counts diverge at %d", trial, step, u)
+						}
+						for v := 0; v < ri.NumNodes(); v++ {
+							vv := graph.NodeID(v)
+							if ri.Reachable(uu, vv) != rr.Reachable(uu, vv) {
+								t.Fatalf("trial %d step %d: reachability diverges at (%d,%d): inc=%v reb=%v",
+									trial, step, u, v, ri.Reachable(uu, vv), rr.Reachable(uu, vv))
+							}
+							if ii.Reachable(uu, vv) != ir.Reachable(uu, vv) {
+								t.Fatalf("trial %d step %d: index diverges at (%d,%d)", trial, step, u, v)
+							}
+						}
+					}
+				}
+				if inc.Stats().PatchesIncremental == 0 {
+					t.Fatalf("trial %d: incremental catalog never took the delta path", trial)
+				}
+				if reb.Stats().PatchesIncremental != 0 {
+					t.Fatalf("trial %d: rebuild catalog took the delta path", trial)
+				}
+			}
+		})
 	}
 }

@@ -151,6 +151,11 @@ type Stats struct {
 	Searches uint64 `json:"searches"`
 	// Workers is the pool size.
 	Workers int `json:"workers"`
+	// PatchBatches counts multi-patch batches the coalescer committed
+	// as single catalog mutations; PatchesCoalesced counts the patches
+	// that rode in them. Zero when batching is disabled.
+	PatchBatches     uint64 `json:"patch_batches"`
+	PatchesCoalesced uint64 `json:"patches_coalesced"`
 }
 
 // ErrExactLimit rejects an exact-decision request whose pattern
@@ -258,6 +263,26 @@ type Options struct {
 	// derive a Retry-After estimate. total may grow between calls (the
 	// registration count is only known once the fold finishes).
 	ReplayProgress func(done, total int)
+	// PatchCoalesceCount enables patch batching: bursts of ApplyPatch
+	// calls (and, on a follower, replicated patch records) against the
+	// same graph are composed with graph.MergePatches and committed as
+	// one catalog mutation — one closure delta, one WAL fsync, one
+	// search-index fold per batch instead of per patch. The value caps
+	// patches per batch. Values ≤ 1 disable batching unless
+	// PatchCoalesceWindow is set (an unbounded batch then).
+	PatchCoalesceCount int
+	// PatchCoalesceWindow, when positive, makes each batch wait this
+	// long for a burst to accumulate before committing — higher
+	// throughput under storms at the cost of added patch latency. 0
+	// (the default) is pure group commit: patches batch only while a
+	// previous commit is in flight, adding no latency when idle.
+	PatchCoalesceWindow time.Duration
+	// ClosureDeltaBudget tunes the catalog's incremental closure
+	// maintenance on patches: 0 picks a budget proportional to the
+	// graph (the default), positive values override it, and negative
+	// values disable incremental maintenance entirely — every patch
+	// rebuilds closures from scratch (the benchmark baseline).
+	ClosureDeltaBudget int
 }
 
 // reqKey identifies a computation for coalescing. The pattern is
@@ -362,6 +387,11 @@ type Engine struct {
 	follower   *repl.Follower
 	primaryURL string
 
+	// coalescer batches patch bursts per graph (see Options.
+	// PatchCoalesceCount); nil when batching is disabled, in which case
+	// patches commit one at a time.
+	coalescer *patchCoalescer
+
 	// Admission control: pending counts admitted tasks (queued +
 	// running, coalesced attaches excluded); maxPending > 0 sheds past
 	// the bound.
@@ -417,7 +447,8 @@ func Open(opts Options) (*Engine, error) {
 		cat: catalog.New(opts.MaxClosures,
 			catalog.WithMaxBytes(opts.MaxClosureBytes),
 			catalog.WithTierPolicy(opts.ReachTier),
-			catalog.WithDenseMaxBytes(opts.DenseMaxBytes)),
+			catalog.WithDenseMaxBytes(opts.DenseMaxBytes),
+			catalog.WithDeltaBudget(opts.ClosureDeltaBudget)),
 		queue:            make(chan *task, depth),
 		inflight:         make(map[reqKey]*task),
 		workers:          workers,
@@ -429,6 +460,9 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.FollowURL != "" && opts.StorePath == "" {
 		return nil, fmt.Errorf("engine: FollowURL requires StorePath (the follower persists the stream to its own WAL)")
+	}
+	if opts.PatchCoalesceCount > 1 || opts.PatchCoalesceWindow > 0 {
+		e.coalescer = newPatchCoalescer(e, opts.PatchCoalesceWindow, opts.PatchCoalesceCount)
 	}
 	if !opts.NoMetrics {
 		e.reg = metrics.NewRegistry()
@@ -510,6 +544,13 @@ func (e *Engine) Close() {
 	if e.follower != nil {
 		e.follower.Stop()
 	}
+	// With the follower stopped and closed set, no new patches can be
+	// submitted; flush what the coalescer still holds before the store
+	// goes away so every accepted patch commits (and, on a primary, is
+	// logged) by the time Close returns.
+	if e.coalescer != nil {
+		e.coalescer.close()
+	}
 	close(e.queue)
 	e.wg.Wait()
 	if e.store != nil {
@@ -527,7 +568,7 @@ func (e *Engine) Close() {
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Requests:  e.requests.Load(),
 		Executed:  e.executed.Load(),
 		Coalesced: e.coalesced.Load(),
@@ -538,6 +579,11 @@ func (e *Engine) Stats() Stats {
 		Searches:  e.searches.Load(),
 		Workers:   e.workers,
 	}
+	if e.coalescer != nil {
+		s.PatchBatches = e.coalescer.batches.Load()
+		s.PatchesCoalesced = e.coalescer.coalesced.Load()
+	}
+	return s
 }
 
 // Match schedules one request and waits for its result. An

@@ -90,6 +90,22 @@ func (e *Engine) startFollower(opts Options) error {
 // reproduce: reported as repl.ErrStateMismatch, which makes the
 // follower resync.
 func (e *Engine) applyReplicated(op store.Op) error {
+	// A batched patch that failed asynchronously means the catalog has
+	// diverged from the WAL we already acknowledged: surface it before
+	// accepting anything further, so the follower resyncs.
+	if e.coalescer != nil {
+		if serr := e.coalescer.stickyErr(); serr != nil {
+			return fmt.Errorf("%w: %v", repl.ErrStateMismatch, serr)
+		}
+		if op.Kind != store.OpPatch {
+			// Register/Remove must observe every earlier patch: flush
+			// the queue so replicated ops commit in stream order.
+			e.coalescer.drain()
+			if serr := e.coalescer.stickyErr(); serr != nil {
+				return fmt.Errorf("%w: %v", repl.ErrStateMismatch, serr)
+			}
+		}
+	}
 	e.snapMu.Lock()
 	if err := e.store.AppendAt(op); err != nil {
 		e.snapMu.Unlock()
@@ -102,7 +118,17 @@ func (e *Engine) applyReplicated(op store.Op) error {
 	case store.OpRemove:
 		err = e.cat.Remove(op.Name)
 	case store.OpPatch:
-		_, err = e.cat.Apply(op.Name, op.Patch)
+		if e.coalescer != nil {
+			// Fire-and-forget: the record is durable locally, and the
+			// coalescer batches the catalog commit with its neighbours
+			// in the burst. Enqueued under snapMu so a snapshot's
+			// drain-then-export can never see the append without at
+			// least the enqueue. A commit failure parks in stickyErr
+			// and fails the next apply, which triggers the resync.
+			_, err = e.coalescer.enqueue(op.Name, op.Patch, false)
+		} else {
+			_, err = e.cat.Apply(op.Name, op.Patch)
+		}
 	default:
 		err = fmt.Errorf("unknown op kind %d", op.Kind)
 	}
@@ -119,6 +145,12 @@ func (e *Engine) applyReplicated(op store.Op) error {
 // discarding all local history — and swap the catalog to match. Under
 // snapMu for the same reason as applyReplicated.
 func (e *Engine) resetReplicated(state map[string]*graph.Graph, seq uint64) error {
+	// Pending batched patches target catalog state the bootstrap is
+	// about to replace wholesale: drop them, wait out in-flight
+	// commits, and clear the sticky divergence they may have recorded.
+	if e.coalescer != nil {
+		e.coalescer.discard()
+	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	if err := e.store.ReplaceWithSnapshot(state, seq); err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"graphmatch/internal/catalog"
 	"graphmatch/internal/metrics"
 	"graphmatch/internal/store"
 )
@@ -24,6 +25,11 @@ var searchCandidateBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 250, 500, 10
 
 // ratioBuckets histograms values in [0, 1] (prune rates).
 var ratioBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
+// coneBuckets histograms delta-cone sizes (closure components rewritten
+// per incremental patch) — a count distribution spanning "touched one
+// component" to "touched most of a large graph".
+var coneBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 1000, 10000}
 
 // Metrics returns the engine's registry, or nil when the engine was
 // built with Options.NoMetrics (instrumentation fully disabled — the
@@ -110,6 +116,31 @@ func (e *Engine) initMetrics() {
 	r.CounterFunc("phomd_catalog_closure_build_seconds_total",
 		"Cumulative wall time spent building closures and closure rows.",
 		func() float64 { return e.cat.Stats().BuildTime.Seconds() })
+
+	// Live mutation (patch) maintenance.
+	r.CounterFunc("phomd_catalog_patch_incremental_total",
+		"Patches whose cached closures were updated in place by delta maintenance.",
+		func() float64 { return float64(e.cat.Stats().PatchesIncremental) })
+	r.CounterFunc("phomd_catalog_patch_rebuild_total",
+		"Patches that fell back to dropping and rebuilding closures.",
+		func() float64 { return float64(e.cat.Stats().PatchesRebuild) })
+	patchHist := r.Histogram("phomd_catalog_patch_seconds",
+		"Patch commit wall time (clone, delta or rebuild, swap).", nil)
+	coneHist := r.Histogram("phomd_catalog_patch_cone_comps",
+		"Closure components rewritten per incremental patch (the delta cone).",
+		coneBuckets)
+	e.cat.SetPatchObserver(catalog.PatchObserver{
+		Latency:  patchHist.Observe,
+		ConeSize: coneHist.Observe,
+	})
+	if e.coalescer != nil {
+		r.CounterFunc("phomd_catalog_patch_batches_total",
+			"Multi-patch batches the coalescer committed as one mutation.",
+			func() float64 { return float64(e.coalescer.batches.Load()) })
+		r.CounterFunc("phomd_catalog_patch_coalesced_total",
+			"Patches that rode in a multi-patch batch.",
+			func() float64 { return float64(e.coalescer.coalesced.Load()) })
+	}
 
 	// Search.
 	r.CounterFunc("phomd_search_requests_total",

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergePatches composes a sequence of patches against a base graph into
+// one equivalent patch: applying the result to base yields exactly the
+// graph that applying the inputs one after another would. This is what
+// the engine's patch-coalescing layer commits — one WAL append and one
+// closure update per burst instead of one per patch.
+//
+// Edge operations are resolved to their net effect through a per-edge
+// state machine seeded from base, so duplicate adds collapse, a delete
+// followed by a re-add cancels, and an add followed by a delete
+// disappears entirely. A delete of an edge that does not exist at its
+// point in the sequence is an error, mirroring the failure sequential
+// application would hit. SetContent entries keep only the last write
+// per node. The output is deterministic (edges and content sorted), so
+// the merged patch is stable across WAL replay and replication.
+//
+// The merged patch may be empty (p.Empty()) when the inputs cancel out.
+func MergePatches(base *Graph, patches ...*Patch) (*Patch, error) {
+	n := base.NumNodes()
+	merged := &Patch{}
+	content := make(map[NodeID]string)
+
+	// cur tracks edge existence through the sequence, lazily seeded
+	// from base; exists0 remembers the seed so the final patch only
+	// carries net changes.
+	cur := make(map[[2]NodeID]bool)
+	exists0 := make(map[[2]NodeID]bool)
+	lookup := func(e [2]NodeID) bool {
+		if v, ok := cur[e]; ok {
+			return v
+		}
+		v := int(e[0]) < base.NumNodes() && int(e[1]) < base.NumNodes() && base.HasEdge(e[0], e[1])
+		cur[e] = v
+		exists0[e] = v
+		return v
+	}
+
+	for i, p := range patches {
+		if p == nil || p.Empty() {
+			continue
+		}
+		if err := p.Validate(n); err != nil {
+			return nil, fmt.Errorf("graph: merge patch %d: %w", i, err)
+		}
+		merged.AddNodes = append(merged.AddNodes, p.AddNodes...)
+		n += len(p.AddNodes)
+		for _, cu := range p.SetContent {
+			content[cu.Node] = cu.Content
+		}
+		for _, e := range p.DelEdges {
+			if !lookup(e) {
+				return nil, fmt.Errorf("graph: merge patch %d deletes absent edge %d→%d", i, e[0], e[1])
+			}
+			cur[e] = false
+		}
+		for _, e := range p.AddEdges {
+			lookup(e) // seed exists0 before overwriting
+			cur[e] = true
+		}
+	}
+
+	for e, v := range cur {
+		switch {
+		case v && !exists0[e]:
+			merged.AddEdges = append(merged.AddEdges, e)
+		case !v && exists0[e]:
+			merged.DelEdges = append(merged.DelEdges, e)
+		}
+	}
+	sortEdges(merged.AddEdges)
+	sortEdges(merged.DelEdges)
+
+	for node, text := range content {
+		merged.SetContent = append(merged.SetContent, ContentUpdate{Node: node, Content: text})
+	}
+	sort.Slice(merged.SetContent, func(i, j int) bool {
+		return merged.SetContent[i].Node < merged.SetContent[j].Node
+	})
+	return merged, nil
+}
+
+// Merge composes p followed by q against base: a two-patch convenience
+// over MergePatches.
+func (p *Patch) Merge(base *Graph, q *Patch) (*Patch, error) {
+	return MergePatches(base, p, q)
+}
+
+func sortEdges(es [][2]NodeID) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+}

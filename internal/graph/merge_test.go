@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mergeTestGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNodeFull(Node{Label: fmt.Sprintf("n%d", i), Content: fmt.Sprintf("text %d", i)})
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g.Finish()
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Node(NodeID(v)) != b.Node(NodeID(v)) {
+			return false
+		}
+	}
+	equal := true
+	a.Edges(func(from, to NodeID) bool {
+		if !b.HasEdge(from, to) {
+			equal = false
+		}
+		return equal
+	})
+	return equal
+}
+
+// randomMergePatch builds a patch valid against a graph with n nodes;
+// edges are drawn from the currently existing set for deletes.
+func randomMergePatch(rng *rand.Rand, g *Graph) *Patch {
+	p := &Patch{}
+	n := g.NumNodes()
+	for i := 0; i < rng.Intn(3); i++ {
+		p.AddNodes = append(p.AddNodes, Node{Label: fmt.Sprintf("add%d", rng.Intn(100))})
+	}
+	total := n + len(p.AddNodes)
+	for i := 0; i < rng.Intn(3); i++ {
+		p.SetContent = append(p.SetContent, ContentUpdate{
+			Node:    NodeID(rng.Intn(total)),
+			Content: fmt.Sprintf("rewritten %d", rng.Intn(100)),
+		})
+	}
+	var existing [][2]NodeID
+	g.Edges(func(from, to NodeID) bool {
+		existing = append(existing, [2]NodeID{from, to})
+		return true
+	})
+	seen := map[[2]NodeID]bool{}
+	for i := 0; i < rng.Intn(3); i++ {
+		if len(existing) == 0 {
+			break
+		}
+		e := existing[rng.Intn(len(existing))]
+		if !seen[e] {
+			seen[e] = true
+			p.DelEdges = append(p.DelEdges, e)
+		}
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		p.AddEdges = append(p.AddEdges, [2]NodeID{
+			NodeID(rng.Intn(total)), NodeID(rng.Intn(total)),
+		})
+	}
+	return p
+}
+
+// TestMergePatchesEquivalence pins the composition law: applying the
+// merged patch equals applying the sequence, whenever the sequence
+// applies cleanly.
+func TestMergePatchesEquivalence(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		base := mergeTestGraph(rng, 2+rng.Intn(10), rng.Intn(16))
+
+		var patches []*Patch
+		sequential := base
+		valid := true
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			p := randomMergePatch(rng, sequential)
+			next, err := sequential.ApplyPatch(p)
+			if err != nil {
+				valid = false
+				break
+			}
+			patches = append(patches, p)
+			sequential = next
+		}
+		if !valid || len(patches) == 0 {
+			continue
+		}
+
+		merged, err := MergePatches(base, patches...)
+		if err != nil {
+			t.Fatalf("trial %d: merge failed on a cleanly applying sequence: %v", trial, err)
+		}
+		got := base
+		if !merged.Empty() {
+			got, err = base.ApplyPatch(merged)
+			if err != nil {
+				t.Fatalf("trial %d: merged patch does not apply: %v", trial, err)
+			}
+		}
+		if !graphsEqual(sequential, got) {
+			t.Fatalf("trial %d: merged result diverges from sequential application", trial)
+		}
+	}
+}
+
+func TestMergePatchesCancellation(t *testing.T) {
+	base := New(2)
+	base.AddNode("a")
+	base.AddNode("b")
+	base.AddEdge(0, 1)
+	base.Finish()
+
+	// Delete then re-add an existing edge; add then delete a new one.
+	p1 := &Patch{DelEdges: [][2]NodeID{{0, 1}}, AddEdges: [][2]NodeID{{1, 0}}}
+	p2 := &Patch{DelEdges: [][2]NodeID{{1, 0}}, AddEdges: [][2]NodeID{{0, 1}}}
+	merged, err := MergePatches(base, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Empty() {
+		t.Fatalf("cancelling patches must merge to empty, got %+v", merged)
+	}
+}
+
+func TestMergePatchesDedup(t *testing.T) {
+	base := New(2)
+	base.AddNode("a")
+	base.AddNode("b")
+	base.Finish()
+
+	p1 := &Patch{AddEdges: [][2]NodeID{{0, 1}, {0, 1}}}
+	p2 := &Patch{AddEdges: [][2]NodeID{{0, 1}, {1, 0}}}
+	merged, err := MergePatches(base, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]NodeID{{0, 1}, {1, 0}}
+	if len(merged.AddEdges) != len(want) {
+		t.Fatalf("AddEdges = %v, want %v", merged.AddEdges, want)
+	}
+	for i := range want {
+		if merged.AddEdges[i] != want[i] {
+			t.Fatalf("AddEdges = %v, want %v", merged.AddEdges, want)
+		}
+	}
+}
+
+func TestMergePatchesAbsentDelete(t *testing.T) {
+	base := New(2)
+	base.AddNode("a")
+	base.AddNode("b")
+	base.Finish()
+	if _, err := MergePatches(base, &Patch{DelEdges: [][2]NodeID{{0, 1}}}); err == nil {
+		t.Fatal("deleting an absent edge must fail, as sequential application would")
+	}
+	// Deleting an edge twice across patches fails too.
+	base.AddEdge(0, 1)
+	base.Finish()
+	p := &Patch{DelEdges: [][2]NodeID{{0, 1}}}
+	if _, err := MergePatches(base, p, p); err == nil {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestMergePatchesContentLastWins(t *testing.T) {
+	base := New(1)
+	base.AddNode("a")
+	p1 := &Patch{SetContent: []ContentUpdate{{Node: 0, Content: "first"}}}
+	p2 := &Patch{SetContent: []ContentUpdate{{Node: 0, Content: "second"}}}
+	merged, err := MergePatches(base, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.SetContent) != 1 || merged.SetContent[0].Content != "second" {
+		t.Fatalf("SetContent = %+v, want single last write", merged.SetContent)
+	}
+}
+
+func TestMergePatchesValidation(t *testing.T) {
+	base := New(1)
+	base.AddNode("a")
+	// Node 5 exists in neither base nor the patch's own additions.
+	bad := &Patch{AddEdges: [][2]NodeID{{0, 5}}}
+	if _, err := MergePatches(base, bad); err == nil {
+		t.Fatal("out-of-range edge endpoint must fail validation")
+	}
+	// But a later patch may reference an earlier patch's additions.
+	p1 := &Patch{AddNodes: []Node{{Label: "new"}}}
+	p2 := &Patch{AddEdges: [][2]NodeID{{0, 1}}}
+	merged, err := MergePatches(base, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.AddNodes) != 1 || len(merged.AddEdges) != 1 {
+		t.Fatalf("merged = %+v", merged)
+	}
+}

@@ -104,6 +104,40 @@ func TestApplyPatchEmpty(t *testing.T) {
 	}
 }
 
+// TestApplyPatchSharesUntouchedRows pins the copy-on-write contract:
+// adjacency rows the patch does not touch are physically shared with
+// the receiver (the storm-throughput optimisation), touched rows are
+// private copies, and the receiver is bit-for-bit unchanged.
+func TestApplyPatchSharesUntouchedRows(t *testing.T) {
+	g := FromEdgeList([]string{"A", "B", "C", "D"},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	before := g.Clone()
+	ng, err := g.ApplyPatch(&Patch{
+		DelEdges: [][2]NodeID{{0, 2}},
+		AddEdges: [][2]NodeID{{1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, before) {
+		t.Fatal("patching mutated the receiver")
+	}
+	// Node 2's successor row was never written: shared.
+	if &g.Post(2)[0] != &ng.Post(2)[0] {
+		t.Fatal("untouched row was copied")
+	}
+	// Node 0 lost an out-edge and node 1 gained one: private copies.
+	if &g.Post(0)[0] == &ng.Post(0)[0] {
+		t.Fatal("deleted-from row still shared")
+	}
+	if &g.Post(1)[0] == &ng.Post(1)[0] {
+		t.Fatal("added-to row still shared")
+	}
+	if g.HasEdge(0, 2) != true || ng.HasEdge(0, 2) != false || !ng.HasEdge(1, 3) {
+		t.Fatal("patch semantics broken")
+	}
+}
+
 // TestApplyPatchEquivalence quickchecks copy-on-write patching against
 // rebuilding the graph from scratch with the same final edge set.
 func TestApplyPatchEquivalence(t *testing.T) {

@@ -60,24 +60,42 @@ type Signature struct {
 	DegHist [HistBuckets]float64
 }
 
-// SignatureOf derives the structural signature of g.
-func SignatureOf(g *graph.Graph) Signature {
-	s := Signature{Nodes: g.NumNodes(), Edges: g.NumEdges()}
-	if s.Nodes == 0 {
+// degreeBucket maps a total degree to its log-scale histogram bucket.
+func degreeBucket(d int) int {
+	b := bits.Len(uint(d))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// signatureFromCounts assembles a Signature from raw degree-bucket
+// counts — the representation the incremental index maintains, since
+// counts compose under edge mutations while the normalised histogram
+// does not.
+func signatureFromCounts(nodes, edges int, counts [HistBuckets]int) Signature {
+	s := Signature{Nodes: nodes, Edges: edges}
+	if nodes == 0 {
 		return s
 	}
-	var counts [HistBuckets]int
-	for v := 0; v < s.Nodes; v++ {
-		b := bits.Len(uint(g.Degree(graph.NodeID(v))))
-		if b >= HistBuckets {
-			b = HistBuckets - 1
-		}
-		counts[b]++
-	}
 	for i, c := range counts {
-		s.DegHist[i] = float64(c) / float64(s.Nodes)
+		s.DegHist[i] = float64(c) / float64(nodes)
 	}
 	return s
+}
+
+// degreeCounts tallies the raw degree histogram of g.
+func degreeCounts(g *graph.Graph) [HistBuckets]int {
+	var counts [HistBuckets]int
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[degreeBucket(g.Degree(graph.NodeID(v)))]++
+	}
+	return counts
+}
+
+// SignatureOf derives the structural signature of g.
+func SignatureOf(g *graph.Graph) Signature {
+	return signatureFromCounts(g.NumNodes(), g.NumEdges(), degreeCounts(g))
 }
 
 // StructSim scores the similarity of two degree histograms in [0, 1]:
@@ -120,24 +138,44 @@ type Summary struct {
 // Summarize builds the stage-1 summary of g. It is a pure function of
 // the graph — safe to call concurrently, no shared state.
 func Summarize(g *graph.Graph) Summary {
-	sum := Summary{Sig: SignatureOf(g)}
-	set := make(map[uint64]struct{})
+	sum, _, _ := summarizeCounted(g)
+	return sum
+}
+
+// summarizeCounted is Summarize plus the mutable intermediates the
+// incremental index folds patches into: per-hash node refcounts (how
+// many nodes contribute each distinct shingle — decrementable under
+// content rewrites, where a plain set is not) and the raw degree-bucket
+// counts behind the signature.
+func summarizeCounted(g *graph.Graph) (Summary, map[uint64]int32, [HistBuckets]int) {
+	counts := make(map[uint64]int32)
 	for _, s := range simmatrix.ContentSets(g, 0) {
 		for h := range s {
-			set[h] = struct{}{}
+			counts[h]++
 		}
 	}
-	sum.Total = len(set)
-	hashes := make([]uint64, 0, len(set))
-	for h := range set {
+	degs := degreeCounts(g)
+	sum := Summary{Sig: signatureFromCounts(g.NumNodes(), g.NumEdges(), degs)}
+	sum.Total, sum.Hashes = hashesFromCounts(counts)
+	return sum, counts, degs
+}
+
+// hashesFromCounts derives the indexed bottom-k hash sample from the
+// refcount map. Rebuilding from the full map (never from the previous
+// sample) keeps incremental summaries bit-identical to Summarize: a
+// hash that drops out of the bottom k and later returns is recovered
+// exactly.
+func hashesFromCounts(counts map[uint64]int32) (total int, hashes []uint64) {
+	total = len(counts)
+	hashes = make([]uint64, 0, len(counts))
+	for h := range counts {
 		hashes = append(hashes, h)
 	}
 	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
 	if len(hashes) > MaxIndexedShingles {
 		hashes = hashes[:MaxIndexedShingles:MaxIndexedShingles]
 	}
-	sum.Hashes = hashes
-	return sum
+	return total, hashes
 }
 
 // sampleRate is the fraction of the graph's distinct shingles that made

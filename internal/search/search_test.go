@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -294,6 +295,155 @@ func TestIndexConcurrentChurn(t *testing.T) {
 	cands, stats := ix.Candidates(q, Policy{})
 	if stats.Graphs != 1 || len(cands) != 1 || cands[0].Name != "stable" {
 		t.Fatalf("after churn: cands %v, stats %+v", cands, stats)
+	}
+}
+
+// randomSearchPatch builds a valid non-empty patch against g: random
+// node additions (with content), content rewrites, deletes of distinct
+// existing edges, and random edge additions.
+func randomSearchPatch(rng *rand.Rand, g *graph.Graph, words []string) *graph.Patch {
+	text := func() string {
+		n := 2 + rng.Intn(5)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+	for {
+		p := &graph.Patch{}
+		for i := 0; i < rng.Intn(3); i++ {
+			p.AddNodes = append(p.AddNodes, graph.Node{Label: fmt.Sprintf("n%d", rng.Intn(100)), Weight: 1, Content: text()})
+		}
+		total := g.NumNodes() + len(p.AddNodes)
+		for i := 0; i < rng.Intn(3); i++ {
+			p.SetContent = append(p.SetContent, graph.ContentUpdate{
+				Node:    graph.NodeID(rng.Intn(total)),
+				Content: text(),
+			})
+		}
+		var existing [][2]graph.NodeID
+		g.Edges(func(from, to graph.NodeID) bool {
+			existing = append(existing, [2]graph.NodeID{from, to})
+			return true
+		})
+		seen := map[[2]graph.NodeID]bool{}
+		for i := 0; i < rng.Intn(3) && len(existing) > 0; i++ {
+			e := existing[rng.Intn(len(existing))]
+			if !seen[e] {
+				seen[e] = true
+				p.DelEdges = append(p.DelEdges, e)
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			e := [2]graph.NodeID{graph.NodeID(rng.Intn(total)), graph.NodeID(rng.Intn(total))}
+			if !seen[e] {
+				p.AddEdges = append(p.AddEdges, e)
+			}
+		}
+		if !p.Empty() {
+			return p
+		}
+	}
+}
+
+// TestIndexPatchEquivalence is the incremental-maintenance quickcheck:
+// after every committed patch, candidate scoring through the live index
+// (folded deltas, diffed postings) must be bit-identical to a fresh
+// index built over the same graphs from scratch. Covers edge-only
+// patches (shared hash sample), content rewrites, node growth, and
+// mixed sequences.
+func TestIndexPatchEquivalence(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa"}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	names := []string{"g0", "g1", "g2"}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		text := func() string {
+			parts := make([]string, 3+rng.Intn(6))
+			for i := range parts {
+				parts[i] = words[rng.Intn(len(words))]
+			}
+			return strings.Join(parts, " ")
+		}
+		cat := catalog.New(0)
+		ix := NewIndex(cat)
+		for _, name := range names {
+			if err := cat.Register(name, contentGraph(text(), text(), text())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		query := Summarize(contentGraph(text(), text()))
+		ix.Candidates(query, Policy{}) // force the initial builds so later folds are incremental
+
+		for step := 0; step < 6; step++ {
+			name := names[rng.Intn(len(names))]
+			g, err := cat.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cat.Apply(name, randomSearchPatch(rng, g, words)); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+
+			got, gotStats := ix.Candidates(query, Policy{})
+
+			fresh := catalog.New(0)
+			for _, n := range names {
+				cur, err := cat.Get(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Register(n, cur); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, wantStats := NewIndex(fresh).Candidates(query, Policy{})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d step %d: incremental candidates diverge\n got %+v\nwant %+v", trial, step, got, want)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("trial %d step %d: stats diverge: %+v vs %+v", trial, step, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestIndexEdgeOnlyPatchSharesHashes pins the cheap path: a patch that
+// touches no content must leave the hash sample (and hence postings)
+// physically shared, shifting only the structural signature.
+func TestIndexEdgeOnlyPatchSharesHashes(t *testing.T) {
+	cat := catalog.New(0)
+	ix := NewIndex(cat)
+	if err := cat.Register("g", contentGraph("some shared words", "more shared words", "yet more text")); err != nil {
+		t.Fatal(err)
+	}
+	q := Summarize(contentGraph("some shared words"))
+	ix.Candidates(q, Policy{})
+
+	ix.mu.Lock()
+	before := ix.recs["g"].sum
+	ix.mu.Unlock()
+
+	if _, err := cat.Apply("g", &graph.Patch{AddEdges: [][2]graph.NodeID{{0, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	cands, _ := ix.Candidates(q, Policy{})
+	if len(cands) != 1 {
+		t.Fatalf("candidates %v", cands)
+	}
+
+	ix.mu.Lock()
+	after := ix.recs["g"].sum
+	ix.mu.Unlock()
+	if len(before.Hashes) == 0 || &before.Hashes[0] != &after.Hashes[0] {
+		t.Fatal("edge-only patch rebuilt the hash sample instead of sharing it")
+	}
+	if before.Sig == after.Sig {
+		t.Fatal("edge patch left the structural signature unchanged")
 	}
 }
 
