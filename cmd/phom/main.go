@@ -33,10 +33,12 @@
 //	phom snapshot -addr http://localhost:8080
 //	phom compact -store /var/lib/phomd
 //
-// The metrics and top verbs inspect a running phomd (see observe.go):
+// The metrics, top and trace verbs inspect a running phomd (see
+// observe.go and trace.go):
 //
 //	phom metrics -addr http://localhost:8080 -grep engine_
 //	phom top -addr http://localhost:8080
+//	phom trace -addr http://localhost:8080 [trace-id | request-id]
 //
 // The patch verb applies a live edit to a graph registered on a
 // running phomd — the JSON body of PATCH /v1/graphs/{name} (add_nodes,
@@ -91,6 +93,9 @@ func main() {
 			return
 		case "patch":
 			runPatch(os.Args[2:])
+			return
+		case "trace":
+			runTrace(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,70 @@
+package main
+
+// phom repl: replication status of a running phomd follower, from the
+// replication section of GET /v1/stats. Exits non-zero when the server
+// is unreachable, is not a follower, or has diverged from its primary
+// — so a health check or deploy gate can script it:
+//
+//	phom repl -addr http://replica:8081
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphmatch/internal/repl"
+)
+
+func runRepl(args []string) {
+	fs := flag.NewFlagSet("phom repl", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "follower base URL")
+	asJSON := fs.Bool("json", false, "print the raw replication stats object")
+	_ = fs.Parse(args)
+
+	body := getOrDie(*addr + "/v1/stats")
+	var stats struct {
+		Replication *repl.Stats `json:"replication"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		fatal(fmt.Errorf("decoding /v1/stats: %w", err))
+	}
+	rs := stats.Replication
+	if rs == nil {
+		fatal(fmt.Errorf("%s is not a follower (no replication section in /v1/stats)", *addr))
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(rs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		state := "catching up"
+		switch {
+		case rs.Diverged:
+			state = "DIVERGED"
+		case !rs.Connected:
+			state = "disconnected"
+		case rs.SyncedOnce && rs.LagSeq == 0:
+			state = "in sync"
+		case rs.SyncedOnce:
+			state = "lagging"
+		}
+		fmt.Printf("following       %s (%s)\n", rs.Primary, state)
+		fmt.Printf("last applied    seq %d (primary at seq %d, lag %d)\n",
+			rs.LastApplied, rs.PrimarySeq, rs.LagSeq)
+		fmt.Printf("seconds behind  %.1f\n", rs.SecondsBehind)
+		fmt.Printf("applied         %d ops, %d reconnects, %d resyncs\n",
+			rs.Applied, rs.Reconnects, rs.Resyncs)
+		if rs.LastError != "" {
+			fmt.Printf("last error      %s\n", rs.LastError)
+		}
+	}
+
+	if rs.Diverged {
+		fmt.Fprintf(os.Stderr, "phom repl: follower has diverged from %s\n", rs.Primary)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+// The trace verb is the CLI side of phomd's flight recorder:
+//
+//	phom trace -addr http://localhost:8080            # recent traces, newest first
+//	phom trace -addr http://localhost:8080 <id>       # one span tree
+//
+// The id accepts either a 32-hex trace id (from an ?explain=1
+// response, an error body's trace_id, or a traceparent header) or the
+// X-Request-ID a response carried. Exits non-zero on transport
+// failures and HTTP errors, like every phom verb.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"graphmatch/internal/httpapi"
+)
+
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("phom trace", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "phomd base URL")
+	limit := fs.Int("limit", 20, "max traces to list (0 = everything in the recorder)")
+	slowOnly := fs.Bool("slow", false, "list only traces over the server's slow threshold")
+	_ = fs.Parse(args)
+
+	if fs.NArg() > 0 {
+		printTraceDetail(*addr, fs.Arg(0))
+		return
+	}
+
+	var list httpapi.TraceListResponse
+	// Fetch unlimited and cut after the slow filter, so -slow -limit 5
+	// means "5 slow traces", not "slow ones among the last 5".
+	if err := json.Unmarshal(getOrDie(*addr+"/debug/traces"), &list); err != nil {
+		fatal(fmt.Errorf("decoding /debug/traces: %w", err))
+	}
+	fmt.Printf("flight recorder: %d completed, %d slow retained (threshold %s), %d spans dropped\n\n",
+		list.Completed, list.SlowRetained, durStr(float64(list.SlowThresholdUS)/1e6), list.DroppedSpans)
+	rows := list.Traces
+	if *slowOnly {
+		kept := rows[:0]
+		for _, t := range rows {
+			if t.Slow {
+				kept = append(kept, t)
+			}
+		}
+		rows = kept
+	}
+	if *limit > 0 && len(rows) > *limit {
+		rows = rows[:*limit]
+	}
+	if len(rows) == 0 {
+		fmt.Println("no traces recorded yet")
+		return
+	}
+	fmt.Printf("%-32s  %-26s %10s %6s  %s\n", "trace_id", "route", "dur", "spans", "dominant")
+	for _, t := range rows {
+		flags := ""
+		if t.Slow {
+			flags = " [slow]"
+		}
+		if t.Remote {
+			flags += " [remote]"
+		}
+		fmt.Printf("%-32s  %-26s %10s %6d  %s%s\n",
+			t.ID, t.Route, durStr(float64(t.DurationUS)/1e6), t.Spans, t.Dominant, flags)
+	}
+}
+
+func printTraceDetail(addr, id string) {
+	var td httpapi.TraceDetailResponse
+	if err := json.Unmarshal(getOrDie(addr+"/debug/traces/"+id), &td); err != nil {
+		fatal(fmt.Errorf("decoding /debug/traces/%s: %w", id, err))
+	}
+	head := fmt.Sprintf("trace %s  %s  dur=%s", td.ID, td.Route, durStr(float64(td.DurationUS)/1e6))
+	if td.RequestID != "" {
+		head += "  req_id=" + td.RequestID
+	}
+	if td.Slow {
+		head += "  [slow]"
+	}
+	if td.Remote {
+		head += fmt.Sprintf("  [re-parented under remote span %d]", td.ParentSpan)
+	}
+	fmt.Println(head)
+	fmt.Printf("started %s\n", td.Start.Format(time.RFC3339Nano))
+	if td.DroppedSpans > 0 {
+		fmt.Printf("%d spans dropped by the per-trace cap\n", td.DroppedSpans)
+	}
+
+	children := map[uint64][]httpapi.TraceSpan{}
+	for _, sp := range td.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var walk func(sp httpapi.TraceSpan, depth int)
+	walk = func(sp httpapi.TraceSpan, depth int) {
+		fmt.Printf("%s%-*s %10s  @%s%s\n",
+			strings.Repeat("  ", depth), 30-2*depth, sp.Name,
+			durStr(float64(sp.DurationUS)/1e6),
+			durStr(float64(sp.StartUS)/1e6), attrStr(sp.Attrs))
+		for _, c := range children[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range children[0] {
+		walk(root, 0)
+	}
+}
+
+// attrStr renders span attributes sorted by key, so the output is
+// stable across runs.
+func attrStr(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, attrs[k]))
+	}
+	return "  " + strings.Join(parts, " ")
+}

@@ -18,6 +18,13 @@
 // shared across all requests; /v1/stats reports the closure-cache hit
 // rate alongside engine throughput counters.
 //
+// Every request is traced end to end: the last -trace-capacity
+// completed traces (plus slow ones, over -trace-slow) are kept in an
+// in-process flight recorder served at GET /debug/traces and
+// /debug/traces/{id} (trace id or X-Request-ID), ?explain=1 on match
+// and search returns the per-stage breakdown inline, and `phom trace`
+// renders recorded span trees. -no-trace turns all of it off.
+//
 // With -store DIR the catalog is durable: every mutation (register,
 // PATCH /v1/graphs/{name}, delete) is appended to a write-ahead log
 // and fsynced before it is acknowledged, the WAL is compacted into a
@@ -101,6 +108,9 @@ func main() {
 	patchWindow := flag.Duration("patch-coalesce-window", 0, "wait this long for a patch burst to accumulate before each batch commit (0 = batch only while a commit is in flight)")
 	deltaBudget := flag.Int("closure-delta-budget", 0, "incremental closure maintenance cost budget per patch (0 = auto-sized, -1 = always rebuild)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "follower /readyz stays 503 while replication lag exceeds this many ops; needs -follow")
+	noTrace := flag.Bool("no-trace", false, "disable request tracing and the /debug/traces flight recorder")
+	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring size: last N completed traces kept for /debug/traces (0 = default 128)")
+	traceSlow := flag.Duration("trace-slow", 0, "traces at or above this duration are retained in the slow ring even after falling out of the recent one (0 = default 250ms)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
@@ -180,6 +190,9 @@ func main() {
 		PatchCoalesceCount:   *patchBatch,
 		PatchCoalesceWindow:  *patchWindow,
 		ClosureDeltaBudget:   *deltaBudget,
+		NoTrace:              *noTrace,
+		TraceCapacity:        *traceCapacity,
+		TraceSlowThreshold:   *traceSlow,
 	})
 	if err != nil {
 		log.Fatalf("phomd: opening engine: %v", err)

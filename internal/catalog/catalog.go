@@ -26,6 +26,7 @@ package catalog
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"graphmatch/internal/graph"
 	"graphmatch/internal/shingle"
 	"graphmatch/internal/simmatrix"
+	"graphmatch/internal/trace"
 )
 
 // Errors distinguished by the HTTP layer.
@@ -228,10 +230,14 @@ type MutationHook func(name string, g *graph.Graph, m Mutation)
 // persister runs first (write-ahead, fallible), the hook after commit
 // (coherence, infallible). Replay installs neither until boot is done,
 // so replayed mutations are not re-logged.
+// The context carries the request's trace span (if any) so the
+// persister can attribute the durability cost — the WAL append and
+// fsync — to the request that caused it and stamp the traceparent
+// into the logged op.
 type Persister interface {
-	LogRegister(name string, g *graph.Graph) error
-	LogRemove(name string) error
-	LogPatch(name string, p *graph.Patch) error
+	LogRegister(ctx context.Context, name string, g *graph.Graph) error
+	LogRemove(ctx context.Context, name string) error
+	LogPatch(ctx context.Context, name string, p *graph.Patch) error
 }
 
 // Catalog is a concurrency-safe registry of named data graphs with a
@@ -294,12 +300,23 @@ func New(maxClosures int, opts ...Option) *Catalog {
 // adjacency sorting). Registering an existing name fails with
 // ErrDuplicate.
 func (c *Catalog) Register(name string, g *graph.Graph) error {
+	return c.RegisterCtx(context.Background(), name, g)
+}
+
+// RegisterCtx is Register with a request context for trace
+// attribution: the commit is recorded as a catalog.commit span and the
+// persister receives ctx for WAL-append spans.
+func (c *Catalog) RegisterCtx(ctx context.Context, name string, g *graph.Graph) error {
 	if name == "" {
 		return fmt.Errorf("catalog: empty graph name")
 	}
 	if g == nil {
 		return fmt.Errorf("catalog: nil graph %q", name)
 	}
+	sp := trace.SpanFromContext(ctx).Child("catalog.commit")
+	sp.SetStr("op", "register")
+	sp.SetStr("graph", name)
+	defer sp.End()
 	g.Finish()
 	c.mu.Lock()
 	if _, dup := c.graphs[name]; dup {
@@ -307,7 +324,7 @@ func (c *Catalog) Register(name string, g *graph.Graph) error {
 		return fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	if c.persist != nil {
-		if err := c.persist.LogRegister(name, g); err != nil {
+		if err := c.persist.LogRegister(ctx, name, g); err != nil {
 			c.mu.Unlock()
 			return err
 		}
@@ -377,6 +394,15 @@ type PatchObserver struct {
 
 // Remove drops a graph and every cached closure derived from it.
 func (c *Catalog) Remove(name string) error {
+	return c.RemoveCtx(context.Background(), name)
+}
+
+// RemoveCtx is Remove with a request context for trace attribution.
+func (c *Catalog) RemoveCtx(ctx context.Context, name string) error {
+	sp := trace.SpanFromContext(ctx).Child("catalog.commit")
+	sp.SetStr("op", "remove")
+	sp.SetStr("graph", name)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ge, ok := c.graphs[name]
@@ -384,7 +410,7 @@ func (c *Catalog) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if c.persist != nil {
-		if err := c.persist.LogRemove(name); err != nil {
+		if err := c.persist.LogRemove(ctx, name); err != nil {
 			return err
 		}
 	}
@@ -415,9 +441,21 @@ func (c *Catalog) Remove(name string) error {
 // requests that resolved the old (graph, closure) pair finish against
 // that consistent pair.
 func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
+	return c.ApplyCtx(context.Background(), name, p)
+}
+
+// ApplyCtx is Apply with a request context for trace attribution: the
+// whole commit is recorded as a catalog.commit span (with the
+// incremental-vs-rebuild outcome and delta cone size as attributes)
+// and the persister receives ctx for WAL-append spans.
+func (c *Catalog) ApplyCtx(ctx context.Context, name string, p *graph.Patch) (*graph.Graph, error) {
 	if p == nil || p.Empty() {
 		return nil, fmt.Errorf("%w: empty patch for %q", ErrBadPatch, name)
 	}
+	sp := trace.SpanFromContext(ctx).Child("catalog.commit")
+	sp.SetStr("op", "patch")
+	sp.SetStr("graph", name)
+	defer sp.End()
 	start := time.Now()
 	// Clone + patch outside the lock: the clone is O(nodes + edges) and
 	// the catalog mutex gates every match request's graph resolution —
@@ -500,7 +538,7 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 			continue // lost a race with another mutation of this name
 		}
 		if c.persist != nil {
-			if err := c.persist.LogPatch(name, p); err != nil {
+			if err := c.persist.LogPatch(ctx, name, p); err != nil {
 				c.mu.Unlock()
 				return nil, err
 			}
@@ -537,6 +575,10 @@ func (c *Catalog) Apply(name string, p *graph.Patch) (*graph.Graph, error) {
 	}
 	if obs.ConeSize != nil && incremental {
 		obs.ConeSize(float64(coneSize))
+	}
+	sp.SetBool("incremental", incremental)
+	if incremental {
+		sp.SetInt("cone_comps", int64(coneSize))
 	}
 	return ng, nil
 }
@@ -790,11 +832,43 @@ func (c *Catalog) Reach(name string, pathLimit int) (*closure.Reach, error) {
 // resolved under one lock acquisition; a fresh build uses the graph
 // pointer captured there, never a re-lookup by name.
 func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closure.Reach, error) {
-	g, e, err := c.getEntry(name, pathLimit)
+	g, e, _, err := c.getEntry(trace.Span{}, name, pathLimit)
 	if err != nil {
 		return nil, nil, err
 	}
 	return g, e.reach, nil
+}
+
+// GetWithReachCtx is GetWithReach recording a catalog.resolve span
+// (cache hit, closure build time) under the request's trace.
+func (c *Catalog) GetWithReachCtx(ctx context.Context, name string, pathLimit int) (*graph.Graph, *closure.Reach, error) {
+	sp := trace.SpanFromContext(ctx).Child("catalog.resolve")
+	defer sp.End()
+	sp.SetStr("graph", name)
+	g, e, hit, err := c.getEntry(sp, name, pathLimit)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+		return nil, nil, err
+	}
+	sp.SetBool("closure_cache_hit", hit)
+	return g, e.reach, nil
+}
+
+// GetWithIndexCtx is GetWithIndex recording a catalog.resolve span
+// (cache hit, tier, build times) under the request's trace.
+func (c *Catalog) GetWithIndexCtx(ctx context.Context, name string, pathLimit int) (*graph.Graph, *closure.Reach, closure.Index, error) {
+	sp := trace.SpanFromContext(ctx).Child("catalog.resolve")
+	defer sp.End()
+	sp.SetStr("graph", name)
+	g, e, hit, err := c.getEntry(sp, name, pathLimit)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+		return nil, nil, nil, err
+	}
+	sp.SetBool("closure_cache_hit", hit)
+	c.ensureIndex(sp, e)
+	sp.SetStr("tier", string(e.idx.Tier()))
+	return g, e.reach, e.idx, nil
 }
 
 // GetWithIndex resolves the named graph, its reachability closure, and
@@ -805,16 +879,29 @@ func (c *Catalog) GetWithReach(name string, pathLimit int) (*graph.Graph, *closu
 // itself — and shared by every request, so per-request matcher setup
 // materialises nothing.
 func (c *Catalog) GetWithIndex(name string, pathLimit int) (*graph.Graph, *closure.Reach, closure.Index, error) {
-	g, e, err := c.getEntry(name, pathLimit)
+	g, e, _, err := c.getEntry(trace.Span{}, name, pathLimit)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	c.ensureIndex(trace.Span{}, e)
+	return g, e.reach, e.idx, nil
+}
+
+// ensureIndex performs the single-flight matcher-index build for a
+// resolved closure entry. When this call is the one that builds, a
+// catalog.index_build child span records the tier-selection outcome
+// under the request's resolve span (inert span = untraced caller).
+func (c *Catalog) ensureIndex(sp trace.Span, e *entry) {
 	e.idxOnce.Do(func() {
+		bsp := sp.Child("catalog.index_build")
 		start := time.Now()
 		e.idx = closure.BuildIndex(e.reach, c.tierPolicy, c.denseMaxBytes)
 		built := time.Since(start)
 		ib := int64(e.idx.Bytes())
 		tier := e.idx.Tier()
+		bsp.SetStr("tier", string(tier))
+		bsp.SetInt("bytes", ib)
+		bsp.End()
 		c.mu.Lock()
 		c.buildTime += built
 		// Account only while the entry is still resident; an entry
@@ -837,12 +924,14 @@ func (c *Catalog) GetWithIndex(name string, pathLimit int) (*graph.Graph, *closu
 		}
 		c.mu.Unlock()
 	})
-	return g, e.reach, e.idx, nil
 }
 
 // getEntry resolves the graph and the cache slot for (name, pathLimit),
-// waiting on or performing the single-flight closure build.
-func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, error) {
+// waiting on or performing the single-flight closure build. hit
+// reports whether the closure was already cached (possibly still
+// building under another request); a build performed here is recorded
+// as a catalog.closure_build child of sp when sp is active.
+func (c *Catalog) getEntry(sp trace.Span, name string, pathLimit int) (*graph.Graph, *entry, bool, error) {
 	if pathLimit < 0 {
 		pathLimit = 0
 	}
@@ -852,7 +941,7 @@ func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, er
 	ge, ok := c.graphs[name]
 	if !ok {
 		c.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, nil, false, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	g := ge.g
 	if e, ok := c.closures[key]; ok {
@@ -860,7 +949,7 @@ func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, er
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
-		return g, e, nil
+		return g, e, true, nil
 	}
 	c.misses++
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -869,10 +958,13 @@ func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, er
 	c.evictLocked()
 	c.mu.Unlock()
 
+	bsp := sp.Child("catalog.closure_build")
 	start := time.Now()
 	e.reach = closure.ComputeBounded(g, pathLimit)
 	built := time.Since(start)
 	close(e.ready)
+	bsp.SetInt("path_limit", int64(pathLimit))
+	bsp.End()
 
 	rb := int64(e.reach.Bytes())
 	c.mu.Lock()
@@ -883,7 +975,7 @@ func (c *Catalog) getEntry(name string, pathLimit int) (*graph.Graph, *entry, er
 		c.evictBytesLocked(e)
 	}
 	c.mu.Unlock()
-	return g, e, nil
+	return g, e, false, nil
 }
 
 // evictLocked enforces the count LRU bound. In-flight builds may be

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -676,9 +677,9 @@ func TestApplyPatch(t *testing.T) {
 // vetoPersister fails every log call.
 type vetoPersister struct{ err error }
 
-func (v vetoPersister) LogRegister(string, *graph.Graph) error { return v.err }
-func (v vetoPersister) LogRemove(string) error                 { return v.err }
-func (v vetoPersister) LogPatch(string, *graph.Patch) error    { return v.err }
+func (v vetoPersister) LogRegister(context.Context, string, *graph.Graph) error { return v.err }
+func (v vetoPersister) LogRemove(context.Context, string) error                 { return v.err }
+func (v vetoPersister) LogPatch(context.Context, string, *graph.Patch) error    { return v.err }
 
 // TestPersisterVeto checks write-ahead semantics: a persister error
 // aborts the mutation before anything commits.

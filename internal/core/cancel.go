@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"graphmatch/internal/closure"
+	"graphmatch/internal/trace"
 )
 
 // This file threads context cancellation into the matching algorithms.
@@ -156,6 +157,8 @@ func (in *Instance) CompMaxCardCtx(ctx context.Context) (m Mapping, err error) {
 	defer recoverAbort(&m, &err)
 	mx := in.newMatcher(false)
 	mx.bind(ctx)
+	_, end := startMatchSpan(ctx, "core.maxcard")
+	defer end(mx)
 	return mx.run(mx.initialList()), nil
 }
 
@@ -167,6 +170,8 @@ func (in *Instance) CompMaxCard11Ctx(ctx context.Context) (m Mapping, err error)
 	defer recoverAbort(&m, &err)
 	mx := in.newMatcher(true)
 	mx.bind(ctx)
+	_, end := startMatchSpan(ctx, "core.maxcard11")
+	defer end(mx)
 	return mx.run(mx.initialList()), nil
 }
 
@@ -179,6 +184,8 @@ func (in *Instance) CompMaxSimCtx(ctx context.Context) (m Mapping, err error) {
 	mx := in.newMatcher(false)
 	mx.pickBest = true
 	mx.bind(ctx)
+	_, end := startMatchSpan(ctx, "core.maxsim")
+	defer end(mx)
 	return mx.runSim(mx.initialList()), nil
 }
 
@@ -191,6 +198,8 @@ func (in *Instance) CompMaxSim11Ctx(ctx context.Context) (m Mapping, err error) 
 	mx := in.newMatcher(true)
 	mx.pickBest = true
 	mx.bind(ctx)
+	_, end := startMatchSpan(ctx, "core.maxsim11")
+	defer end(mx)
 	return mx.runSim(mx.initialList()), nil
 }
 
@@ -211,5 +220,23 @@ func (in *Instance) decideCtx(ctx context.Context, injective, filtered bool) (Ma
 	if err := in.prepareCtx(ctx); err != nil {
 		return nil, false, err
 	}
-	return in.decideWith(ctx, injective, filtered)
+	name := "core.decide"
+	if injective {
+		name = "core.decide11"
+	}
+	sp := trace.SpanFromContext(ctx).Child(name)
+	if sp.Active() {
+		// Re-wrap so decideWith's candidate-construction phase can attach
+		// its counts to this span rather than the engine's parent.
+		ctx = trace.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
+	m, ok, err := in.decideWith(ctx, injective, filtered)
+	if sp.Active() {
+		sp.SetBool("holds", ok)
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+	}
+	return m, ok, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"graphmatch/internal/closure"
 	"graphmatch/internal/graph"
+	"graphmatch/internal/trace"
 )
 
 // This file hosts the exact decision procedures for the p-hom and 1-1
@@ -60,12 +61,27 @@ func (in *Instance) decideWith(ctx context.Context, injective, filtered bool) (M
 			return nil, false, nil
 		}
 	}
+	if sp := trace.SpanFromContext(ctx); sp.Active() {
+		total := 0
+		for _, c := range cands {
+			total += len(c)
+		}
+		sp.SetInt("nodes", int64(n1))
+		sp.SetInt("candidates", int64(total))
+	}
 	if filtered {
 		in.filterCandidates(cands, injective)
 		for v := range cands {
 			if len(cands[v]) == 0 {
 				return nil, false, nil
 			}
+		}
+		if sp := trace.SpanFromContext(ctx); sp.Active() {
+			total := 0
+			for _, c := range cands {
+				total += len(c)
+			}
+			sp.SetInt("candidates_filtered", int64(total))
 		}
 	}
 
@@ -130,6 +146,9 @@ func (in *Instance) decideWith(ctx context.Context, injective, filtered bool) (M
 		}()
 		return try(0)
 	}()
+	if sp := trace.SpanFromContext(ctx); sp.Active() {
+		sp.SetInt("poll_steps", int64(steps))
+	}
 	if abortErr != nil {
 		return nil, false, abortErr
 	}

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphmatch/internal/graph"
+	"graphmatch/internal/trace"
 )
 
 // patchCoalescer batches bursts of patches against the same graph into
@@ -55,8 +57,10 @@ type patchQueue struct {
 }
 
 // patchWaiter is one submitted patch; done is nil for fire-and-forget
-// submissions.
+// submissions. ctx carries the submitter's trace span (never
+// cancellation — a queued patch must still commit).
 type patchWaiter struct {
+	ctx  context.Context
 	p    *graph.Patch
 	done chan patchResult
 }
@@ -76,8 +80,8 @@ func newPatchCoalescer(e *Engine, window time.Duration, max int) *patchCoalescer
 // patch's batch commits and returns the resulting graph; otherwise it
 // returns immediately and a failure becomes the coalescer's sticky
 // error.
-func (co *patchCoalescer) enqueue(name string, p *graph.Patch, wait bool) (*graph.Graph, error) {
-	w := &patchWaiter{p: p}
+func (co *patchCoalescer) enqueue(ctx context.Context, name string, p *graph.Patch, wait bool) (*graph.Graph, error) {
+	w := &patchWaiter{ctx: ctx, p: p}
 	if wait {
 		w.done = make(chan patchResult, 1)
 	}
@@ -137,13 +141,19 @@ func (co *patchCoalescer) flush(name string, q *patchQueue) {
 // those of the uncoalesced path.
 func (co *patchCoalescer) apply(name string, batch []*patchWaiter) {
 	if len(batch) == 1 {
-		g, err := co.eng.cat.Apply(name, batch[0].p)
+		g, err := co.eng.cat.ApplyCtx(waiterCtx(batch[0]), name, batch[0].p)
 		co.deliver(batch, g, err)
 		if err == nil {
 			co.eng.maybeSnapshot()
 		}
 		return
 	}
+	// A merged batch is one catalog commit serving many requests; the
+	// commit is attributed to the first waiter that carries a live
+	// trace (a documented approximation — the others record only their
+	// own wait), with the batch size as an attribute.
+	bctx := batchCtx(batch)
+	trace.SpanFromContext(bctx).SetInt("patch_batch", int64(len(batch)))
 	patches := make([]*graph.Patch, len(batch))
 	for i, w := range batch {
 		patches[i] = w.p
@@ -164,7 +174,7 @@ func (co *patchCoalescer) apply(name string, batch []*patchWaiter) {
 	}
 	if err == nil {
 		var g *graph.Graph
-		if g, err = co.eng.cat.Apply(name, merged); err == nil {
+		if g, err = co.eng.cat.ApplyCtx(bctx, name, merged); err == nil {
 			co.batches.Add(1)
 			co.coalesced.Add(uint64(len(batch)))
 			co.deliver(batch, g, nil)
@@ -176,12 +186,31 @@ func (co *patchCoalescer) apply(name string, batch []*patchWaiter) {
 	// is individually bad, or the graph changed under the merge base.
 	// Replay sequentially so each submitter gets its own verdict.
 	for _, w := range batch {
-		g, err := co.eng.cat.Apply(name, w.p)
+		g, err := co.eng.cat.ApplyCtx(waiterCtx(w), name, w.p)
 		co.deliver([]*patchWaiter{w}, g, err)
 		if err == nil {
 			co.eng.maybeSnapshot()
 		}
 	}
+}
+
+// waiterCtx returns the waiter's context, or Background for
+// fire-and-forget submissions enqueued without one.
+func waiterCtx(w *patchWaiter) context.Context {
+	if w.ctx != nil {
+		return w.ctx
+	}
+	return context.Background()
+}
+
+// batchCtx picks the first waiter context carrying an active span.
+func batchCtx(batch []*patchWaiter) context.Context {
+	for _, w := range batch {
+		if w.ctx != nil && trace.SpanFromContext(w.ctx).Active() {
+			return w.ctx
+		}
+	}
+	return context.Background()
 }
 
 // deliver hands a batch outcome to its waiters; fire-and-forget

@@ -43,6 +43,7 @@ import (
 	"graphmatch/internal/simmatrix"
 	"graphmatch/internal/simulation"
 	"graphmatch/internal/store"
+	"graphmatch/internal/trace"
 )
 
 // Algorithm names one of the matching procedures the engine can run.
@@ -283,6 +284,19 @@ type Options struct {
 	// values disable incremental maintenance entirely — every patch
 	// rebuilds closures from scratch (the benchmark baseline).
 	ClosureDeltaBudget int
+	// NoTrace disables the flight recorder entirely: Tracer() returns
+	// nil and no spans are ever recorded, even for requests that carry
+	// a traceparent. Requests without a span in their context already
+	// skip all span work (one context lookup per layer), so this
+	// matters mainly for embedders that bring their own tracing.
+	NoTrace bool
+	// TraceCapacity sizes the flight recorder's ring of recently
+	// completed traces; 0 keeps trace.DefaultCapacity.
+	TraceCapacity int
+	// TraceSlowThreshold is the latency above which a completed trace
+	// is retained in the recorder's slow ring, surviving eviction by
+	// faster traffic; 0 keeps trace.DefaultSlowThreshold.
+	TraceSlowThreshold time.Duration
 }
 
 // reqKey identifies a computation for coalescing. The pattern is
@@ -314,6 +328,11 @@ type task struct {
 	cancel   context.CancelFunc
 	waiters  atomic.Int32
 	enqueued time.Time
+	// span is the submitting request's engine.match span (inert when
+	// the submitter was untraced). The worker parents queue-wait and
+	// execution spans under it; coalesced waiters do not get their own
+	// execution spans — they record the owner's trace id instead.
+	span trace.Span
 }
 
 // attach registers one more waiter. It fails when the refcount already
@@ -392,6 +411,11 @@ type Engine struct {
 	// patches commit one at a time.
 	coalescer *patchCoalescer
 
+	// tracer is the flight recorder (nil with Options.NoTrace):
+	// completed request traces land here, queryable through
+	// GET /debug/traces and the explain path.
+	tracer *trace.Recorder
+
 	// Admission control: pending counts admitted tasks (queued +
 	// running, coalesced attaches excluded); maxPending > 0 sheds past
 	// the bound.
@@ -467,6 +491,9 @@ func Open(opts Options) (*Engine, error) {
 	if !opts.NoMetrics {
 		e.reg = metrics.NewRegistry()
 	}
+	if !opts.NoTrace {
+		e.tracer = trace.NewRecorder(opts.TraceCapacity, opts.TraceSlowThreshold)
+	}
 	e.initMetrics()
 	e.searchIdx = search.NewIndex(e.cat)
 	if opts.StorePath != "" {
@@ -496,15 +523,26 @@ func Open(opts Options) (*Engine, error) {
 // and tests).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
+// Tracer exposes the flight recorder, or nil when Options.NoTrace
+// disabled it. The HTTP layer starts root spans against it and serves
+// its contents on GET /debug/traces.
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
 // Register adds a data graph to the catalog and precomputes its shared
 // closure. When the engine has a store, the registration is logged and
 // fsynced before it is acknowledged. See catalog.Catalog.Register for
 // ownership rules.
 func (e *Engine) Register(name string, g *graph.Graph) error {
+	return e.RegisterCtx(context.Background(), name, g)
+}
+
+// RegisterCtx is Register with a request context for trace
+// attribution (catalog commit and WAL append spans).
+func (e *Engine) RegisterCtx(ctx context.Context, name string, g *graph.Graph) error {
 	if e.follower != nil {
 		return fmt.Errorf("%w: register %q on %s", ErrReadOnly, name, e.primaryURL)
 	}
-	if err := e.cat.Register(name, g); err != nil {
+	if err := e.cat.RegisterCtx(ctx, name, g); err != nil {
 		return err
 	}
 	e.maybeSnapshot()
@@ -516,10 +554,15 @@ func (e *Engine) Register(name string, g *graph.Graph) error {
 // against the state they already resolved. With a store, the removal
 // is durable before it is acknowledged.
 func (e *Engine) Remove(name string) error {
+	return e.RemoveCtx(context.Background(), name)
+}
+
+// RemoveCtx is Remove with a request context for trace attribution.
+func (e *Engine) RemoveCtx(ctx context.Context, name string) error {
 	if e.follower != nil {
 		return fmt.Errorf("%w: remove %q on %s", ErrReadOnly, name, e.primaryURL)
 	}
-	if err := e.cat.Remove(name); err != nil {
+	if err := e.cat.RemoveCtx(ctx, name); err != nil {
 		return err
 	}
 	e.maybeSnapshot()
@@ -593,17 +636,51 @@ func (e *Engine) Stats() Stats {
 // cancelled cooperatively (coalesced peers keep it alive as long as
 // any of them still wants the result). Both cases return ErrDeadline.
 func (e *Engine) Match(ctx context.Context, req Request) Result {
+	// The engine.match span covers validation, queueing and execution;
+	// shed and deadline outcomes are recorded on it so a 429/504 is
+	// attributable in the flight recorder. One context lookup when the
+	// request is untraced.
+	msp := trace.SpanFromContext(ctx).Child("engine.match")
+	if msp.Active() {
+		msp.SetStr("algo", string(req.Algo))
+		msp.SetStr("graph", req.GraphName)
+	}
 	if err := ctx.Err(); err != nil {
 		e.requests.Add(1)
 		e.errors.Add(1)
+		msp.SetStr("cancel_point", "pre-submit")
+		msp.End()
 		return Result{Err: decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, err))}
 	}
-	t, coalesced, err := e.submit(req)
+	t, coalesced, err := e.submit(req, msp)
 	if err != nil {
 		e.errors.Add(1)
+		if msp.Active() {
+			if errors.Is(err, ErrOverloaded) {
+				msp.SetBool("shed", true)
+			}
+			msp.SetStr("error", err.Error())
+			msp.End()
+		}
 		return Result{Err: decorate(ctx, err)}
 	}
-	return e.wait(ctx, t, coalesced)
+	res := e.wait(ctx, t, coalesced)
+	if msp.Active() {
+		if coalesced {
+			msp.SetBool("coalesced", true)
+			if owner := t.span; owner.Active() {
+				msp.SetStr("exec_trace_id", owner.TraceID().String())
+			}
+		}
+		if res.Err != nil {
+			if errors.Is(res.Err, ErrDeadline) {
+				msp.SetStr("cancel_point", "wait")
+			}
+			msp.SetStr("error", res.Err.Error())
+		}
+		msp.End()
+	}
+	return res
 }
 
 // MatchBatch schedules all requests before waiting on any, so
@@ -627,7 +704,9 @@ func (e *Engine) MatchBatch(ctx context.Context, reqs []Request) []Result {
 	tasks := make([]*task, len(reqs))
 	flags := make([]bool, len(reqs))
 	for i, req := range reqs {
-		t, coalesced, err := e.submit(req)
+		// Batch items do not get per-item spans: a search fan-out would
+		// blow the per-trace span cap and drown the interesting stages.
+		t, coalesced, err := e.submit(req, trace.Span{})
 		if err != nil {
 			e.errors.Add(1)
 			results[i] = Result{Err: err}
@@ -646,8 +725,11 @@ func (e *Engine) MatchBatch(ctx context.Context, reqs []Request) []Result {
 }
 
 // submit validates a request and either enqueues a new task or attaches
-// to an identical in-flight one.
-func (e *Engine) submit(req Request) (*task, bool, error) {
+// to an identical in-flight one. sp is the submitter's engine.match
+// span (inert when untraced); a newly created task adopts it, so the
+// worker's execution spans land in the trace of the request that
+// caused the work.
+func (e *Engine) submit(req Request, sp trace.Span) (*task, bool, error) {
 	e.requests.Add(1)
 	if req.Pattern == nil {
 		return nil, false, fmt.Errorf("engine: nil pattern")
@@ -706,7 +788,7 @@ func (e *Engine) submit(req Request) (*task, bool, error) {
 			ErrOverloaded, n-1, e.maxPending)
 	}
 	tctx, cancel := context.WithCancel(context.Background())
-	t := &task{req: req, key: key, done: make(chan struct{}), ctx: tctx, cancel: cancel}
+	t := &task{req: req, key: key, done: make(chan struct{}), ctx: tctx, cancel: cancel, span: sp}
 	t.waiters.Store(1)
 	e.inflight[key] = t // overwrites a dead (waiterless) predecessor, if any
 	e.mu.Unlock()
@@ -768,10 +850,24 @@ func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) Result {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
-		e.mTaskWait.Observe(time.Since(t.enqueued).Seconds())
+		picked := time.Now()
+		e.mTaskWait.Observe(picked.Sub(t.enqueued).Seconds())
+		ctx := t.ctx
+		if t.span.Active() {
+			// Queue wait is recorded from timestamps already taken for
+			// the metrics, and the task span rides into execute's
+			// context so catalog/core spans nest under it.
+			t.span.ChildSpanning("engine.queue", t.enqueued, picked)
+			ctx = trace.ContextWithSpan(ctx, t.span)
+		}
 		runStart := time.Now()
-		t.res = e.execute(t.ctx, t.req)
-		e.mTaskRun.Observe(time.Since(runStart).Seconds())
+		t.res = e.execute(ctx, t.req)
+		runSecs := time.Since(runStart).Seconds()
+		if t.span.Active() {
+			e.mTaskRun.ObserveWithExemplar(runSecs, "trace_id", t.span.TraceID().String())
+		} else {
+			e.mTaskRun.Observe(runSecs)
+		}
 		e.executed.Add(1)
 		e.pending.Add(-1)
 		// Unpublish before signalling completion so a request arriving
@@ -816,9 +912,9 @@ func (e *Engine) execute(ctx context.Context, req Request) Result {
 	case Simulation:
 		g2, err = e.cat.Get(req.GraphName) // simulation never consults the closure
 	case Decide, Decide11:
-		g2, reach, err = e.cat.GetWithReach(req.GraphName, req.PathLimit)
+		g2, reach, err = e.cat.GetWithReachCtx(ctx, req.GraphName, req.PathLimit)
 	default:
-		g2, reach, idx, err = e.cat.GetWithIndex(req.GraphName, req.PathLimit)
+		g2, reach, idx, err = e.cat.GetWithIndexCtx(ctx, req.GraphName, req.PathLimit)
 	}
 	if err != nil {
 		return Result{Err: err}

@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"graphmatch/internal/graph"
 	"graphmatch/internal/repl"
 	"graphmatch/internal/store"
+	"graphmatch/internal/trace"
 )
 
 // This file wires the engine into the WAL-shipping replication of
@@ -106,17 +108,32 @@ func (e *Engine) applyReplicated(op store.Op) error {
 			}
 		}
 	}
+	// Re-parent the apply under the primary's trace context: the op
+	// carries the originating request's traceparent (shipped verbatim
+	// off the primary's WAL), so the follower's flight recorder files
+	// this apply under the SAME trace id — `phom trace <id>` on either
+	// node finds the two halves of the mutation.
+	ctx := context.Background()
+	sp := e.startRemoteSpan(op)
+	if sp.Active() {
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
 	e.snapMu.Lock()
+	asp := sp.Child("store.append")
 	if err := e.store.AppendAt(op); err != nil {
 		e.snapMu.Unlock()
+		sp.SetStr("error", err.Error())
+		sp.End()
 		return err
 	}
+	asp.SetInt("seq", int64(op.Seq))
+	asp.End()
 	var err error
 	switch op.Kind {
 	case store.OpRegister:
-		err = e.cat.Register(op.Name, op.Graph)
+		err = e.cat.RegisterCtx(ctx, op.Name, op.Graph)
 	case store.OpRemove:
-		err = e.cat.Remove(op.Name)
+		err = e.cat.RemoveCtx(ctx, op.Name)
 	case store.OpPatch:
 		if e.coalescer != nil {
 			// Fire-and-forget: the record is durable locally, and the
@@ -125,19 +142,54 @@ func (e *Engine) applyReplicated(op store.Op) error {
 			// drain-then-export can never see the append without at
 			// least the enqueue. A commit failure parks in stickyErr
 			// and fails the next apply, which triggers the resync.
-			_, err = e.coalescer.enqueue(op.Name, op.Patch, false)
+			// The trace context is NOT threaded: the commit happens
+			// after this apply returns and ends its trace.
+			_, err = e.coalescer.enqueue(context.Background(), op.Name, op.Patch, false)
 		} else {
-			_, err = e.cat.Apply(op.Name, op.Patch)
+			_, err = e.cat.ApplyCtx(ctx, op.Name, op.Patch)
 		}
 	default:
 		err = fmt.Errorf("unknown op kind %d", op.Kind)
 	}
 	e.snapMu.Unlock()
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
 		return fmt.Errorf("%w: %v", repl.ErrStateMismatch, err)
 	}
+	sp.End()
 	e.maybeSnapshot()
 	return nil
+}
+
+// startRemoteSpan opens a repl.apply trace for a streamed op that
+// carries the primary's traceparent; inert when the op is untraced or
+// the follower's recorder is disabled.
+func (e *Engine) startRemoteSpan(op store.Op) trace.Span {
+	if e.tracer == nil || op.Trace == "" {
+		return trace.Span{}
+	}
+	id, parent, ok := trace.ParseTraceparent(op.Trace)
+	if !ok {
+		return trace.Span{}
+	}
+	sp := e.tracer.StartRemote(id, parent, "repl.apply", "")
+	sp.SetInt("seq", int64(op.Seq))
+	sp.SetStr("op", opKindName(op.Kind))
+	sp.SetStr("graph", op.Name)
+	return sp
+}
+
+func opKindName(k store.OpKind) string {
+	switch k {
+	case store.OpRegister:
+		return "register"
+	case store.OpRemove:
+		return "remove"
+	case store.OpPatch:
+		return "patch"
+	}
+	return "unknown"
 }
 
 // resetReplicated is the follower's repl.Config.Reset: land the local

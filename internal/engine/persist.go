@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -8,6 +9,7 @@ import (
 
 	"graphmatch/internal/graph"
 	"graphmatch/internal/store"
+	"graphmatch/internal/trace"
 )
 
 // ErrNoStore rejects persistence operations (Snapshot, store stats) on
@@ -20,19 +22,40 @@ var ErrNoStore = errors.New("engine: no store configured")
 // fsyncs) before the registry commits it.
 type persister struct{ st *store.Store }
 
-func (p persister) LogRegister(name string, g *graph.Graph) error {
-	_, err := p.st.Append(store.Op{Kind: store.OpRegister, Name: name, Graph: g})
+// append logs op, attributing the durability cost to the request's
+// trace when ctx carries one: the op is stamped with the request's
+// traceparent (which the replication stream ships verbatim, so
+// followers can re-parent their apply spans under the primary's trace)
+// and a store.append span records the WAL write and fsync split.
+func (p persister) append(ctx context.Context, op store.Op) error {
+	sp := trace.SpanFromContext(ctx)
+	if !sp.Active() {
+		_, err := p.st.Append(op)
+		return err
+	}
+	op.Trace = sp.Traceparent()
+	ssp := sp.Child("store.append")
+	seq, tm, err := p.st.AppendTimed(op)
+	if err != nil {
+		ssp.SetStr("error", err.Error())
+	} else {
+		ssp.SetInt("seq", int64(seq))
+	}
+	ssp.SetInt("fsync_us", tm.Fsync.Microseconds())
+	ssp.End()
 	return err
 }
 
-func (p persister) LogRemove(name string) error {
-	_, err := p.st.Append(store.Op{Kind: store.OpRemove, Name: name})
-	return err
+func (p persister) LogRegister(ctx context.Context, name string, g *graph.Graph) error {
+	return p.append(ctx, store.Op{Kind: store.OpRegister, Name: name, Graph: g})
 }
 
-func (p persister) LogPatch(name string, pt *graph.Patch) error {
-	_, err := p.st.Append(store.Op{Kind: store.OpPatch, Name: name, Patch: pt})
-	return err
+func (p persister) LogRemove(ctx context.Context, name string) error {
+	return p.append(ctx, store.Op{Kind: store.OpRemove, Name: name})
+}
+
+func (p persister) LogPatch(ctx context.Context, name string, pt *graph.Patch) error {
+	return p.append(ctx, store.Op{Kind: store.OpPatch, Name: name, Patch: pt})
 }
 
 // openStore opens and replays the store during engine boot. The ops
@@ -97,6 +120,14 @@ func (e *Engine) openStore(path string, progress func(done, total int)) error {
 // and fsynced before it is acknowledged. See graph.Patch for the edit
 // semantics.
 func (e *Engine) ApplyPatch(name string, p *graph.Patch) (*graph.Graph, error) {
+	return e.ApplyPatchCtx(context.Background(), name, p)
+}
+
+// ApplyPatchCtx is ApplyPatch with a request context for trace
+// attribution: the catalog commit and WAL append are recorded as
+// spans under the request's trace, and the logged op carries the
+// request's traceparent so followers can re-parent their apply.
+func (e *Engine) ApplyPatchCtx(ctx context.Context, name string, p *graph.Patch) (*graph.Graph, error) {
 	if e.follower != nil {
 		return nil, fmt.Errorf("%w: patch %q on %s", ErrReadOnly, name, e.primaryURL)
 	}
@@ -104,9 +135,9 @@ func (e *Engine) ApplyPatch(name string, p *graph.Patch) (*graph.Graph, error) {
 		// The batch path: waits until the batch containing this patch
 		// commits, so the acknowledgement still means durable and
 		// visible. maybeSnapshot runs inside the coalescer, per commit.
-		return e.coalescer.enqueue(name, p, true)
+		return e.coalescer.enqueue(ctx, name, p, true)
 	}
-	g, err := e.cat.Apply(name, p)
+	g, err := e.cat.ApplyCtx(ctx, name, p)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"graphmatch/internal/catalog"
 	"graphmatch/internal/graph"
 	"graphmatch/internal/search"
+	"graphmatch/internal/trace"
 )
 
 // DefaultSearchK is the top-k size applied when a search request
@@ -117,8 +118,14 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) SearchResult {
 	if req.Algo == "" {
 		req.Algo = MaxSim
 	}
+	ssp := trace.SpanFromContext(ctx).Child("engine.search")
+	if ssp.Active() {
+		ssp.SetStr("algo", string(req.Algo))
+		defer ssp.End()
+	}
 	if err := e.validateSearch(req); err != nil {
 		e.errors.Add(1)
+		ssp.SetStr("error", err.Error())
 		return SearchResult{Err: err}
 	}
 	k := req.K
@@ -162,8 +169,16 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) SearchResult {
 	if stats.Graphs > 0 {
 		e.mSearchPruneRatio.Observe(stats.PruneRate)
 	}
+	if ssp.Active() {
+		s1 := ssp.ChildSpanning("search.stage1", start, start.Add(stats.Stage1))
+		s1.SetInt("graphs", int64(stats.Graphs))
+		s1.SetInt("candidates", int64(stats.Candidates))
+		s1.SetInt("pruned", int64(stats.Pruned))
+		s1.SetFloat("prune_rate", stats.PruneRate)
+	}
 	if err := ctx.Err(); err != nil {
 		e.errors.Add(1)
+		ssp.SetStr("error", err.Error())
 		return SearchResult{Stats: stats, Err: decorate(ctx, fmt.Errorf("%w: %w", ErrDeadline, err))}
 	}
 
@@ -200,6 +215,11 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) SearchResult {
 	}
 	stats.Stage2 = time.Since(stage2)
 	e.mSearchStage2.Observe(stats.Stage2.Seconds())
+	if ssp.Active() {
+		s2 := ssp.ChildSpanning("search.stage2", stage2, stage2.Add(stats.Stage2))
+		s2.SetInt("matched", int64(stats.Matched))
+		s2.SetInt("missing", int64(stats.Missing))
+	}
 
 	hits := make([]SearchHit, 0, top.Len())
 	for _, h := range top.Ranked() {

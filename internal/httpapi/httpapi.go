@@ -13,12 +13,15 @@
 //	                           del_edges, set_content); durable before acknowledged
 //	                           when the server runs with -store
 //	DELETE /v1/graphs/{name}   drop a registered graph and its cached indexes
-//	POST   /v1/match           one match request
+//	POST   /v1/match           one match request (?explain=1 adds the per-stage breakdown)
 //	POST   /v1/match/batch     {"requests": [...]} dispatched concurrently
-//	POST   /v1/search          rank the catalog against a pattern (top-k)
+//	POST   /v1/search          rank the catalog against a pattern (top-k; ?explain=1 as above)
 //	POST   /v1/admin/snapshot  compact the WAL into a fresh snapshot (store only)
 //	GET    /v1/stats           engine + catalog + store counters
 //	GET    /metrics            Prometheus text exposition of every layer
+//	                           (OpenMetrics with exemplars via Accept)
+//	GET    /debug/traces       flight recorder: recent + retained slow traces
+//	GET    /debug/traces/{id}  one span tree, by trace id or X-Request-ID
 //	GET    /healthz            liveness (process up)
 //	GET    /readyz             readiness (store replayed, catalog warm)
 //
@@ -40,6 +43,7 @@ import (
 	"graphmatch/internal/metrics"
 	"graphmatch/internal/repl"
 	"graphmatch/internal/store"
+	"graphmatch/internal/trace"
 )
 
 // DefaultXi is applied when a match request omits "xi". It matches the
@@ -136,6 +140,11 @@ type MatchResponse struct {
 	ElapsedUS    int64      `json:"elapsed_us"`
 	Coalesced    bool       `json:"coalesced"`
 	Error        string     `json:"error,omitempty"`
+	// TraceID and Explain are present only on ?explain=1 responses:
+	// the request's trace id and its deterministic per-stage breakdown
+	// (same stage set for the same query shape on every run).
+	TraceID string        `json:"trace_id,omitempty"`
+	Explain []trace.Stage `json:"explain,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/match/batch.
@@ -207,6 +216,9 @@ type SearchResponse struct {
 	PatternNodes int                 `json:"pattern_nodes"`
 	Hits         []SearchHitResponse `json:"hits"`
 	Stats        SearchStatsResponse `json:"stats"`
+	// TraceID and Explain mirror MatchResponse's ?explain=1 fields.
+	TraceID string        `json:"trace_id,omitempty"`
+	Explain []trace.Stage `json:"explain,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats. Store is nil when the
@@ -228,6 +240,10 @@ type catalogStats struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// TraceID names the flight-recorder trace of the failed request
+	// (when tracing is on), so a 429 or 504 can be followed up with
+	// GET /debug/traces/{trace_id} or `phom trace <trace_id>`.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // New returns the phomd handler over e with default transport options
@@ -270,7 +286,7 @@ func (s *server) registerGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph"))
 		return
 	}
-	if err := s.eng.Register(req.Name, req.Graph); err != nil {
+	if err := s.eng.RegisterCtx(r.Context(), req.Name, req.Graph); err != nil {
 		s.writeMutationError(w, r, err)
 		return
 	}
@@ -309,7 +325,7 @@ func (s *server) patchGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validation — empty patch, bad node IDs, absent edges — lives in
 	// catalog.Apply and surfaces as ErrBadPatch (400 via statusFor).
-	g, err := s.eng.ApplyPatch(name, req.toPatch())
+	g, err := s.eng.ApplyPatchCtx(r.Context(), name, req.toPatch())
 	if err != nil {
 		// catalog.ErrBadPatch → 400, ErrNotFound → 404, follower → 421
 		// via statusFor; anything else (store I/O) is a genuine 500.
@@ -334,7 +350,7 @@ func (s *server) removeGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing graph name"))
 		return
 	}
-	if err := s.eng.Remove(name); err != nil {
+	if err := s.eng.RemoveCtx(r.Context(), name); err != nil {
 		s.writeMutationError(w, r, err)
 		return
 	}
@@ -356,7 +372,29 @@ func (s *server) match(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(req, res))
+	out := toResponse(req, res)
+	if wantExplain(r) {
+		out.TraceID, out.Explain = explainOf(r)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// wantExplain reports whether the request asked for the per-stage
+// EXPLAIN breakdown (?explain=1).
+func wantExplain(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v == "1" || v == "true"
+}
+
+// explainOf snapshots the request's live trace and derives the
+// deterministic stage breakdown; empty when tracing is disabled.
+func explainOf(r *http.Request) (string, []trace.Stage) {
+	sp := trace.SpanFromContext(r.Context())
+	td, ok := sp.Snapshot()
+	if !ok {
+		return "", nil
+	}
+	return td.ID.String(), td.Stages()
 }
 
 func (s *server) matchBatch(w http.ResponseWriter, r *http.Request) {
@@ -459,6 +497,9 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 			Containment: h.Containment,
 			StructSim:   h.StructSim,
 		})
+	}
+	if wantExplain(r) {
+		out.TraceID, out.Explain = explainOf(r)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -660,7 +701,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	// Handlers behind the observe shell write through the shell's
+	// statusRecorder, which knows the request's trace id.
+	if rec, ok := w.(*statusRecorder); ok {
+		resp.TraceID = rec.traceID
+	}
+	writeJSON(w, status, resp)
 }
 
 // writeMutationError is writeError for the mutation routes, plus the

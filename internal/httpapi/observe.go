@@ -12,6 +12,7 @@ import (
 
 	"graphmatch/internal/engine"
 	"graphmatch/internal/repl"
+	"graphmatch/internal/trace"
 )
 
 // This file is the transport's observability and overload-protection
@@ -97,6 +98,11 @@ func NewWithOptions(e *engine.Engine, opts Options) http.Handler {
 		// distort the latency histograms.
 		mux.Handle("GET /v1/replicate/since/{seq}", repl.NewHandler(src, repl.HandlerOptions{}))
 	}
+	// The flight-recorder introspection routes are mounted outside the
+	// observe shell, like /metrics: reading traces must not generate
+	// traces, distort the latency histograms or consume request IDs.
+	mux.HandleFunc("GET /debug/traces", s.debugTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.debugTrace)
 	if reg := e.Metrics(); reg != nil {
 		mux.Handle("GET /metrics", reg.Handler())
 	} else {
@@ -168,10 +174,21 @@ func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) ht
 			}
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// The root span opens before the concurrency gate so shed
+		// requests are traced too — a 429 with a trace_id is evidence,
+		// not a mystery. An incoming traceparent is continued (the trace
+		// files under the caller's id); otherwise the request id doubles
+		// as the trace identity, so GET /debug/traces/{X-Request-ID}
+		// finds the trace of any response.
+		sp := s.startTrace(r, route, id, start)
+		if sp.Active() {
+			rec.traceID = sp.TraceID().String()
+			rec.Header().Set("traceparent", sp.Traceparent())
+		}
 		s.mInFlight.Inc()
 		defer func() {
 			s.mInFlight.Dec()
-			s.finish(rec, r, route, id, start)
+			s.finish(rec, r, route, id, start, sp)
 		}()
 
 		if sem != nil {
@@ -180,6 +197,7 @@ func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) ht
 				defer func() { <-sem }()
 			default:
 				s.mLimited.With(route).Inc()
+				sp.SetBool("limited", true)
 				rec.Header().Set("Retry-After", retryAfterSeconds)
 				writeError(rec, http.StatusTooManyRequests,
 					fmt.Errorf("concurrency limit reached for %s", route))
@@ -188,6 +206,9 @@ func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) ht
 		}
 
 		ctx := engine.WithRequestID(r.Context(), id)
+		if sp.Active() {
+			ctx = trace.ContextWithSpan(ctx, sp)
+		}
 		if s.opts.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
@@ -197,15 +218,47 @@ func (s *server) observe(route string, sem chan struct{}, h http.HandlerFunc) ht
 	})
 }
 
-// finish records the per-route metrics and emits the access log line.
-func (s *server) finish(rec *statusRecorder, r *http.Request, route, id string, start time.Time) {
+// startTrace opens the request's root span in the engine's flight
+// recorder: inert when tracing is disabled, re-parented under the
+// caller's trace when the request carries a valid traceparent, and
+// otherwise rooted at a trace id derived from the request id.
+func (s *server) startTrace(r *http.Request, route, id string, start time.Time) trace.Span {
+	tr := s.eng.Tracer()
+	if tr == nil {
+		return trace.Span{}
+	}
+	if h := r.Header.Get("traceparent"); h != "" {
+		if tid, parent, ok := trace.ParseTraceparent(h); ok {
+			return tr.StartRemoteAt(tid, parent, route, id, start)
+		}
+	}
+	return tr.StartTraceAt(trace.DeriveTraceID(id), route, id, start)
+}
+
+// finish records the per-route metrics, seals the trace and emits the
+// access log line — all from one clock read, so the histogram sample,
+// the dur= field and the trace's root duration agree exactly.
+func (s *server) finish(rec *statusRecorder, r *http.Request, route, id string, start time.Time, sp trace.Span) {
 	elapsed := time.Since(start)
+	if sp.Active() {
+		sp.SetInt("http_status", int64(rec.status))
+		sp.EndAfter(elapsed)
+	}
 	s.mRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
-	s.mLatency.With(route).Observe(elapsed.Seconds())
+	if lat := s.mLatency.With(route); rec.traceID != "" {
+		lat.ObserveWithExemplar(elapsed.Seconds(), "trace_id", rec.traceID)
+	} else {
+		lat.Observe(elapsed.Seconds())
+	}
 	s.mRespBytes.With(route).Add(uint64(rec.bytes))
 	if lg := s.opts.AccessLog; lg != nil {
-		lg.Printf("req_id=%s method=%s path=%s status=%d bytes=%d dur=%s",
-			id, r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+		if rec.traceID != "" {
+			lg.Printf("req_id=%s trace_id=%s method=%s path=%s status=%d bytes=%d dur=%s",
+				id, rec.traceID, r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+		} else {
+			lg.Printf("req_id=%s method=%s path=%s status=%d bytes=%d dur=%s",
+				id, r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+		}
 	}
 }
 
@@ -225,6 +278,10 @@ type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	// traceID is the request's 32-hex trace id when tracing is on;
+	// writeError stamps it into error bodies so a 429 or 504 names the
+	// flight-recorder entry that explains it.
+	traceID string
 }
 
 func (rec *statusRecorder) WriteHeader(code int) {

@@ -120,6 +120,9 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// ex is the most recent exemplar (see ObserveWithExemplar); only
+	// rendered on the OpenMetrics exposition path.
+	ex atomic.Pointer[exemplar]
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -480,9 +483,16 @@ func escapeLabel(s string) string {
 }
 
 // Handler returns an http.Handler serving the exposition — the body of
-// GET /metrics.
+// GET /metrics. Clients that accept application/openmetrics-text get
+// the OpenMetrics rendering (which carries histogram exemplars);
+// everyone else gets the classic text format, unchanged.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

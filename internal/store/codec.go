@@ -416,6 +416,11 @@ func encodeOp(op Op) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("store: unknown op kind %d", op.Kind)
 	}
+	// Trailing optional section: absent entirely for untraced ops so
+	// their encoding is byte-identical to the pre-trace format.
+	if op.Trace != "" {
+		e.str(op.Trace)
+	}
 	return e.buf, nil
 }
 
@@ -447,6 +452,11 @@ func decodeOp(payload []byte) (Op, error) {
 		}
 	default:
 		return Op{}, corruptf("unknown op kind %d", kind)
+	}
+	if d.remaining() > 0 {
+		if op.Trace, err = d.str(); err != nil {
+			return Op{}, err
+		}
 	}
 	if d.remaining() != 0 {
 		return Op{}, corruptf("%d trailing bytes after op", d.remaining())

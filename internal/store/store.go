@@ -76,13 +76,18 @@ const (
 )
 
 // Op is one logged catalog mutation. Graph is set for OpRegister,
-// Patch for OpPatch.
+// Patch for OpPatch. Trace optionally carries the W3C traceparent of
+// the request that caused the mutation; it is encoded only when
+// non-empty (old logs decode unchanged) and ships to replication
+// followers verbatim, letting them re-parent applied-op spans under
+// the primary's trace context.
 type Op struct {
 	Seq   uint64
 	Kind  OpKind
 	Name  string
 	Graph *graph.Graph
 	Patch *graph.Patch
+	Trace string
 }
 
 // Stats is a point-in-time snapshot of the store, served alongside the
@@ -593,16 +598,32 @@ func replaySegment(path string, limit int64, snapSeq uint64, apply func(Op) erro
 // catalog's persister hook, under the catalog lock, so the log order
 // is exactly the mutation order.
 func (s *Store) Append(op Op) (uint64, error) {
+	seq, _, err := s.AppendTimed(op)
+	return seq, err
+}
+
+// AppendTiming breaks an append's latency into its total and the
+// fsync portion, for callers attaching the durability cost to a
+// request trace.
+type AppendTiming struct {
+	Total time.Duration
+	Fsync time.Duration
+}
+
+// AppendTimed is Append returning per-phase timings alongside the
+// assigned sequence number.
+func (s *Store) AppendTimed(op Op) (uint64, AppendTiming, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.appendGuard(); err != nil {
-		return 0, err
+		return 0, AppendTiming{}, err
 	}
 	op.Seq = s.seq + 1
-	if err := s.appendLocked(op); err != nil {
-		return 0, err
+	tm, err := s.appendLocked(op)
+	if err != nil {
+		return 0, tm, err
 	}
-	return op.Seq, nil
+	return op.Seq, tm, nil
 }
 
 // AppendAt appends an op that already carries its sequence number —
@@ -620,7 +641,8 @@ func (s *Store) AppendAt(op Op) error {
 	if op.Seq <= s.seq {
 		return fmt.Errorf("store: AppendAt seq %d not beyond durable seq %d", op.Seq, s.seq)
 	}
-	return s.appendLocked(op)
+	_, err := s.appendLocked(op)
+	return err
 }
 
 // appendGuard rejects appends on a store that cannot take them.
@@ -639,10 +661,10 @@ func (s *Store) appendGuard() error {
 
 // appendLocked writes op — seq already assigned — to the current
 // segment and fsyncs. Callers hold s.mu and have passed appendGuard.
-func (s *Store) appendLocked(op Op) error {
+func (s *Store) appendLocked(op Op) (AppendTiming, error) {
 	payload, err := encodeOp(op)
 	if err != nil {
-		return err
+		return AppendTiming{}, err
 	}
 	// A failed (= vetoed) append must leave the segment exactly as it
 	// was: partial record bytes would make recovery truncate away every
@@ -660,17 +682,19 @@ func (s *Store) appendLocked(op Op) error {
 	}
 	start := time.Now()
 	if err := writeRecord(s.seg, payload); err != nil {
-		return rollback(fmt.Errorf("store: appending to %s: %w", s.segPath, err))
+		return AppendTiming{}, rollback(fmt.Errorf("store: appending to %s: %w", s.segPath, err))
 	}
 	syncStart := time.Now()
 	if err := syncFile(s.seg); err != nil {
-		return rollback(fmt.Errorf("store: syncing %s: %w", s.segPath, err))
+		return AppendTiming{}, rollback(fmt.Errorf("store: syncing %s: %w", s.segPath, err))
 	}
+	tm := AppendTiming{Fsync: time.Since(syncStart)}
+	tm.Total = time.Since(start)
 	if s.obs.Fsync != nil {
-		s.obs.Fsync(time.Since(syncStart).Seconds())
+		s.obs.Fsync(tm.Fsync.Seconds())
 	}
 	if s.obs.Append != nil {
-		s.obs.Append(time.Since(start).Seconds())
+		s.obs.Append(tm.Total.Seconds())
 	}
 	s.seq = op.Seq
 	s.appended++
@@ -678,7 +702,7 @@ func (s *Store) appendLocked(op Op) error {
 	s.segRecords++
 	s.segSize += recordSize(payload)
 	s.walBytes += recordSize(payload)
-	return nil
+	return tm, nil
 }
 
 // Rotate seals the current WAL segment and starts a new one, returning

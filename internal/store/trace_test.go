@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"graphmatch/internal/graph"
+)
+
+// TestOpTraceRoundTrip checks the optional traceparent field survives
+// encode/decode for every op kind.
+func TestOpTraceRoundTrip(t *testing.T) {
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	p := &graph.Patch{}
+	ops := []Op{
+		{Seq: 1, Kind: OpRegister, Name: "g", Graph: testGraph(1), Trace: tp},
+		{Seq: 2, Kind: OpRemove, Name: "g", Trace: tp},
+		{Seq: 3, Kind: OpPatch, Name: "g", Patch: p, Trace: tp},
+	}
+	for _, op := range ops {
+		payload, err := encodeOp(op)
+		if err != nil {
+			t.Fatalf("encode kind %d: %v", op.Kind, err)
+		}
+		got, err := decodeOp(payload)
+		if err != nil {
+			t.Fatalf("decode kind %d: %v", op.Kind, err)
+		}
+		if got.Trace != tp {
+			t.Fatalf("kind %d: trace = %q, want %q", op.Kind, got.Trace, tp)
+		}
+	}
+}
+
+// TestOpWithoutTraceEncodingUnchanged pins backward compatibility:
+// an untraced op encodes to exactly the bytes the pre-trace format
+// produced (no trailing section), and those bytes decode to an op
+// with an empty Trace.
+func TestOpWithoutTraceEncodingUnchanged(t *testing.T) {
+	op := Op{Seq: 9, Kind: OpRemove, Name: "g"}
+	plain, err := encodeOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.Trace = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	traced, err := encodeOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(traced, plain) {
+		t.Fatal("traced encoding does not extend the plain encoding")
+	}
+	if len(traced) == len(plain) {
+		t.Fatal("trace field not encoded")
+	}
+	got, err := decodeOp(plain)
+	if err != nil {
+		t.Fatalf("decoding pre-trace payload: %v", err)
+	}
+	if got.Trace != "" {
+		t.Fatalf("pre-trace payload decoded with trace %q", got.Trace)
+	}
+}
+
+// TestAppendTimed checks timings are populated and the seq advances
+// exactly as Append would.
+func TestAppendTimed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, tm, err := s.AppendTimed(Op{Kind: OpRegister, Name: "g", Graph: testGraph(1), Trace: "tp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	if tm.Total <= 0 || tm.Fsync < 0 || tm.Fsync > tm.Total {
+		t.Fatalf("timing = %+v", tm)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops := replayAll(t, dir)
+	if len(ops) != 1 || ops[0].Trace != "tp" {
+		t.Fatalf("replayed ops = %+v", ops)
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the flight-recorder ring size when the caller
+// passes 0.
+const DefaultCapacity = 128
+
+// DefaultSlowThreshold is the latency above which a completed trace
+// is retained in the slow ring when the caller passes 0.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// slowRingFraction sizes the slow ring relative to the main ring.
+const slowRingFraction = 4
+
+// RecorderStats are cumulative flight-recorder counters.
+type RecorderStats struct {
+	Completed    uint64 // traces completed into the recorder
+	Slow         uint64 // of those, traces over the slow threshold
+	DroppedSpans uint64 // spans dropped by the per-trace cap
+}
+
+// Recorder is the flight recorder: a ring of the last N completed
+// traces plus a smaller ring that only slow traces (duration over the
+// threshold) enter, so a burst of fast requests cannot evict the
+// evidence of a slow one. Completion takes one short mutex hold; live
+// traces never touch the recorder lock.
+type Recorder struct {
+	slowThreshold time.Duration
+
+	mu     sync.Mutex
+	recent ring
+	slow   ring
+	stats  RecorderStats
+}
+
+type ring struct {
+	buf  []*TraceData
+	next int
+	n    int // total ever appended
+}
+
+func (r *ring) add(td *TraceData) {
+	r.buf[r.next] = td
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+}
+
+// newestFirst appends the ring's entries, newest first, to dst.
+func (r *ring) newestFirst(dst []*TraceData) []*TraceData {
+	count := r.n
+	if count > len(r.buf) {
+		count = len(r.buf)
+	}
+	for i := 1; i <= count; i++ {
+		dst = append(dst, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return dst
+}
+
+// NewRecorder builds a flight recorder. capacity <= 0 selects
+// DefaultCapacity; slowThreshold <= 0 selects DefaultSlowThreshold.
+func NewRecorder(capacity int, slowThreshold time.Duration) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if slowThreshold <= 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	slowCap := capacity / slowRingFraction
+	if slowCap < 4 {
+		slowCap = 4
+	}
+	return &Recorder{
+		slowThreshold: slowThreshold,
+		recent:        ring{buf: make([]*TraceData, capacity)},
+		slow:          ring{buf: make([]*TraceData, slowCap)},
+	}
+}
+
+// SlowThreshold returns the configured slow-trace latency threshold.
+func (r *Recorder) SlowThreshold() time.Duration { return r.slowThreshold }
+
+// StartTrace begins a locally-rooted trace whose root span is named
+// name. The root span's End completes the trace into the recorder.
+func (r *Recorder) StartTrace(id TraceID, name, requestID string) Span {
+	return r.start(id, name, requestID, time.Now(), false, 0)
+}
+
+// StartTraceAt is StartTrace with an explicit start timestamp, for
+// callers that already took their single clock read for the request.
+func (r *Recorder) StartTraceAt(id TraceID, name, requestID string, start time.Time) Span {
+	return r.start(id, name, requestID, start, false, 0)
+}
+
+// StartRemote begins a trace re-parented under a remote traceparent:
+// it keeps the remote trace id and records the remote span as the
+// root's logical parent. Used by the replication follower to file
+// applied-op spans under the primary's trace context.
+func (r *Recorder) StartRemote(id TraceID, parent uint64, name, requestID string) Span {
+	return r.start(id, name, requestID, time.Now(), true, parent)
+}
+
+// StartRemoteAt is StartRemote with an explicit start timestamp, for
+// the transport shell continuing an incoming traceparent with the
+// clock read it already took for the request.
+func (r *Recorder) StartRemoteAt(id TraceID, parent uint64, name, requestID string, start time.Time) Span {
+	return r.start(id, name, requestID, start, true, parent)
+}
+
+func (r *Recorder) start(id TraceID, name, requestID string, start time.Time, remote bool, parent uint64) Span {
+	t := &live{
+		rec:       r,
+		id:        id,
+		name:      name,
+		requestID: requestID,
+		remote:    remote,
+		parent:    parent,
+		start:     start,
+	}
+	return t.startSpan(0, name, 0, -1)
+}
+
+func (r *Recorder) complete(td TraceData) {
+	slow := td.Duration >= r.slowThreshold
+	r.mu.Lock()
+	r.recent.add(&td)
+	r.stats.Completed++
+	r.stats.DroppedSpans += uint64(td.Dropped)
+	if slow {
+		r.slow.add(&td)
+		r.stats.Slow++
+	}
+	r.mu.Unlock()
+}
+
+// Stats returns cumulative counters.
+func (r *Recorder) Stats() RecorderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Get looks a completed trace up by its 32-hex trace id or by the
+// request id it was started with. When several traces share the key
+// (e.g. retries reusing a request id) the newest wins. Slow traces
+// remain findable after falling out of the recent ring.
+func (r *Recorder) Get(key string) (TraceData, bool) {
+	id, isID := ParseTraceID(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	scratch := make([]*TraceData, 0, len(r.recent.buf)+len(r.slow.buf))
+	scratch = r.recent.newestFirst(scratch)
+	scratch = r.slow.newestFirst(scratch)
+	var best *TraceData
+	for _, td := range scratch {
+		if isID && td.ID == id || key != "" && td.RequestID == key {
+			if best == nil || td.Start.After(best.Start) {
+				best = td
+			}
+		}
+	}
+	if best == nil {
+		return TraceData{}, false
+	}
+	return *best, true
+}
+
+// Snapshot returns up to limit completed traces, newest first, with
+// slow-ring survivors included after the recent ones (deduplicated).
+// limit <= 0 means no limit.
+func (r *Recorder) Snapshot(limit int) []TraceData {
+	r.mu.Lock()
+	recent := r.recent.newestFirst(nil)
+	slow := r.slow.newestFirst(nil)
+	r.mu.Unlock()
+	seen := make(map[*TraceData]bool, len(recent))
+	out := make([]TraceData, 0, len(recent)+len(slow))
+	for _, td := range recent {
+		seen[td] = true
+		out = append(out, *td)
+	}
+	for _, td := range slow {
+		if !seen[td] {
+			out = append(out, *td)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

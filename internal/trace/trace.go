@@ -1,0 +1,369 @@
+// Package trace is a dependency-free span layer: W3C traceparent
+// propagation, monotonic-clock spans with typed attributes, per-trace
+// span trees, and a ring-buffer flight recorder of recent and slow
+// traces (recorder.go).
+//
+// The zero Span is inert: every method is a no-op and Active reports
+// false, mirroring the nil-receiver idiom of internal/metrics. Layers
+// therefore instrument unconditionally and pay one context lookup per
+// request when tracing is off.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds a single trace's span tree. Spans started
+// past the cap are counted as dropped and return an inert handle.
+const maxSpansPerTrace = 512
+
+// maxAttrsPerSpan bounds attributes on one span; excess sets are
+// silently ignored.
+const maxAttrsPerSpan = 32
+
+// Attr is a typed span attribute.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+}
+
+// AttrKind discriminates the Attr union.
+type AttrKind uint8
+
+const (
+	AttrStr AttrKind = iota
+	AttrInt
+	AttrFloat
+	AttrBool
+)
+
+// Value returns the attribute's dynamic value.
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrInt:
+		return a.Int
+	case AttrFloat:
+		return a.Float
+	case AttrBool:
+		return a.Bool
+	default:
+		return a.Str
+	}
+}
+
+// SpanData is one completed (or force-closed) span in a trace
+// snapshot. Start and End are offsets from the trace start; End < 0
+// means the span was still open when the snapshot was taken.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 for the root span
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+}
+
+// Duration returns the span's length, or 0 if it is still open.
+func (s SpanData) Duration() time.Duration {
+	if s.End < 0 {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// TraceData is an immutable snapshot of a trace's span tree.
+type TraceData struct {
+	ID        TraceID
+	Name      string // root operation, e.g. "POST /v1/match"
+	RequestID string
+	Start     time.Time
+	Duration  time.Duration // 0 while the trace is live
+	Remote    bool          // true when re-parented under a remote traceparent
+	Parent    uint64        // remote parent span id (0 if local root)
+	Dropped   int           // spans not recorded due to the per-trace cap
+	Spans     []SpanData    // span 1 is the root; IDs are sequential
+}
+
+// live is the mutable state behind a trace's Span handles.
+type live struct {
+	rec       *Recorder
+	id        TraceID
+	name      string
+	requestID string
+	remote    bool
+	parent    uint64
+	start     time.Time
+
+	mu      sync.Mutex
+	spans   []SpanData
+	next    uint64
+	dropped int
+	done    bool
+}
+
+// Span is a lightweight handle to one node of a live trace's span
+// tree. The zero value is inert.
+type Span struct {
+	tr *live
+	id uint64
+}
+
+// Active reports whether the handle refers to a recorded span.
+func (s Span) Active() bool { return s.tr != nil }
+
+// TraceID returns the trace id, or the zero id for an inert span.
+func (s Span) TraceID() TraceID {
+	if s.tr == nil {
+		return TraceID{}
+	}
+	return s.tr.id
+}
+
+// Traceparent renders a W3C traceparent header identifying this span
+// as the parent, or "" for an inert span.
+func (s Span) Traceparent() string {
+	if s.tr == nil {
+		return ""
+	}
+	return FormatTraceparent(s.tr.id, s.id)
+}
+
+// Child starts a new span under s. Returns an inert handle when s is
+// inert, the trace is complete, or the span cap is hit.
+func (s Span) Child(name string) Span {
+	if s.tr == nil {
+		return Span{}
+	}
+	return s.tr.startSpan(s.id, name, time.Since(s.tr.start), -1)
+}
+
+// ChildSpanning records an already-completed child covering
+// [start, end], e.g. a queue wait measured with timestamps taken
+// before tracing was consulted.
+func (s Span) ChildSpanning(name string, start, end time.Time) Span {
+	if s.tr == nil {
+		return Span{}
+	}
+	so := start.Sub(s.tr.start)
+	eo := end.Sub(s.tr.start)
+	if so < 0 {
+		so = 0
+	}
+	if eo < so {
+		eo = so
+	}
+	return s.tr.startSpan(s.id, name, so, eo)
+}
+
+func (t *live) startSpan(parent uint64, name string, start, end time.Duration) Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done || len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return Span{}
+	}
+	t.next++
+	id := t.next
+	t.spans = append(t.spans, SpanData{ID: id, Parent: parent, Name: name, Start: start, End: end})
+	return Span{tr: t, id: id}
+}
+
+// span returns a pointer to the span's slot; IDs are assigned
+// sequentially so the slot index is id-1.
+func (t *live) span(id uint64) *SpanData {
+	return &t.spans[id-1]
+}
+
+func (s Span) setAttr(a Attr) {
+	if s.tr == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	sd := t.span(s.id)
+	if len(sd.Attrs) >= maxAttrsPerSpan {
+		return
+	}
+	sd.Attrs = append(sd.Attrs, a)
+}
+
+// SetStr sets a string attribute.
+func (s Span) SetStr(key, v string) { s.setAttr(Attr{Key: key, Kind: AttrStr, Str: v}) }
+
+// SetInt sets an integer attribute.
+func (s Span) SetInt(key string, v int64) { s.setAttr(Attr{Key: key, Kind: AttrInt, Int: v}) }
+
+// SetFloat sets a float attribute.
+func (s Span) SetFloat(key string, v float64) { s.setAttr(Attr{Key: key, Kind: AttrFloat, Float: v}) }
+
+// SetBool sets a boolean attribute.
+func (s Span) SetBool(key string, v bool) { s.setAttr(Attr{Key: key, Kind: AttrBool, Bool: v}) }
+
+// End completes the span. Ending the root span completes the whole
+// trace: still-open spans are force-closed with an unfinished marker
+// (they mark the cancellation point on deadlined requests) and the
+// snapshot is handed to the recorder.
+func (s Span) End() { s.endAt(-1) }
+
+// EndAfter completes the span at exactly d past its start, letting
+// the caller reuse a duration measured with its own single clock read
+// so the trace, access log, and histograms all agree.
+func (s Span) EndAfter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.endAt(d)
+}
+
+func (s Span) endAt(after time.Duration) {
+	if s.tr == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	sd := t.span(s.id)
+	if sd.End < 0 {
+		if after >= 0 {
+			sd.End = sd.Start + after
+		} else {
+			sd.End = time.Since(t.start)
+		}
+	}
+	if s.id != 1 {
+		t.mu.Unlock()
+		return
+	}
+	// Root ended: force-close open children and seal the trace.
+	end := sd.End
+	for i := range t.spans {
+		if t.spans[i].End < 0 {
+			t.spans[i].End = end
+			if len(t.spans[i].Attrs) < maxAttrsPerSpan {
+				t.spans[i].Attrs = append(t.spans[i].Attrs, Attr{Key: "unfinished", Kind: AttrBool, Bool: true})
+			}
+		}
+	}
+	t.done = true
+	td := t.snapshotLocked()
+	rec := t.rec
+	t.mu.Unlock()
+	if rec != nil {
+		rec.complete(td)
+	}
+}
+
+func (t *live) snapshotLocked() TraceData {
+	spans := make([]SpanData, len(t.spans))
+	copy(spans, t.spans)
+	for i := range spans {
+		if n := len(t.spans[i].Attrs); n > 0 {
+			spans[i].Attrs = make([]Attr, n)
+			copy(spans[i].Attrs, t.spans[i].Attrs)
+		}
+	}
+	var dur time.Duration
+	if t.done && len(spans) > 0 {
+		dur = spans[0].End
+	}
+	return TraceData{
+		ID:        t.id,
+		Name:      t.name,
+		RequestID: t.requestID,
+		Start:     t.start,
+		Duration:  dur,
+		Remote:    t.remote,
+		Parent:    t.parent,
+		Dropped:   t.dropped,
+		Spans:     spans,
+	}
+}
+
+// Snapshot returns a point-in-time copy of the span tree, usable
+// while the trace is still live (spans not yet ended have End < 0).
+func (s Span) Snapshot() (TraceData, bool) {
+	if s.tr == nil {
+		return TraceData{}, false
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.tr.snapshotLocked(), true
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or an inert Span.
+func SpanFromContext(ctx context.Context) Span {
+	if sp, ok := ctx.Value(ctxKey{}).(Span); ok {
+		return sp
+	}
+	return Span{}
+}
+
+// Stage is one entry of a deterministic per-query EXPLAIN breakdown.
+type Stage struct {
+	Name       string         `json:"stage"`
+	StartUS    int64          `json:"start_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// explainStage reports whether a span belongs in the EXPLAIN stage
+// set. The allowlist holds exactly the spans that are emitted
+// unconditionally for a given query shape; conditional work (closure
+// builds, index builds, WAL appends) stays visible in /debug/traces
+// but is excluded here so the same query always yields the same stage
+// structure, with variability expressed as attributes (e.g.
+// closure_cache_hit) on the always-present spans.
+func explainStage(name string) bool {
+	switch name {
+	case "engine.match", "engine.queue", "engine.search",
+		"search.stage1", "search.stage2", "catalog.resolve":
+		return true
+	}
+	return len(name) > 5 && name[:5] == "core."
+}
+
+// Stages derives the EXPLAIN breakdown from a trace snapshot: the
+// allowlisted spans in span-id order (assignment order, deterministic
+// for a fixed query), with attributes flattened to a map. The root
+// and any still-open spans are excluded.
+func (td TraceData) Stages() []Stage {
+	var out []Stage
+	for _, sd := range td.Spans {
+		if sd.ID == 1 || sd.End < 0 || !explainStage(sd.Name) {
+			continue
+		}
+		st := Stage{
+			Name:       sd.Name,
+			StartUS:    sd.Start.Microseconds(),
+			DurationUS: sd.Duration().Microseconds(),
+		}
+		if len(sd.Attrs) > 0 {
+			st.Attrs = make(map[string]any, len(sd.Attrs))
+			for _, a := range sd.Attrs {
+				st.Attrs[a.Key] = a.Value()
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

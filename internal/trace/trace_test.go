@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testID(n byte) TraceID {
+	var id TraceID
+	id[15] = n
+	if n == 0 {
+		id[14] = 1
+	}
+	return id
+}
+
+// checkWellFormed validates the structural invariants of a snapshot:
+// sequential ids, parents precede children, offsets ordered and inside
+// the root, exactly one root.
+func checkWellFormed(t *testing.T, td TraceData) {
+	t.Helper()
+	if len(td.Spans) == 0 {
+		t.Fatalf("trace %s has no spans", td.ID)
+	}
+	root := td.Spans[0]
+	if root.ID != 1 || root.Parent != 0 {
+		t.Fatalf("span 0 is not the root: %+v", root)
+	}
+	for i, sd := range td.Spans {
+		if sd.ID != uint64(i+1) {
+			t.Fatalf("span ids not sequential: index %d has id %d", i, sd.ID)
+		}
+		if sd.ID != 1 && (sd.Parent == 0 || sd.Parent >= sd.ID) {
+			t.Fatalf("span %d (%s) has invalid parent %d", sd.ID, sd.Name, sd.Parent)
+		}
+		if sd.End < 0 {
+			t.Fatalf("span %d (%s) left open in completed trace", sd.ID, sd.Name)
+		}
+		if sd.End < sd.Start || sd.Start < 0 {
+			t.Fatalf("span %d (%s) has bad offsets [%v, %v]", sd.ID, sd.Name, sd.Start, sd.End)
+		}
+		if sd.End > root.End {
+			t.Fatalf("span %d (%s) ends after root: %v > %v", sd.ID, sd.Name, sd.End, root.End)
+		}
+	}
+}
+
+func TestSpanTreeWellFormed(t *testing.T) {
+	rec := NewRecorder(8, time.Hour)
+	root := rec.StartTrace(testID(1), "POST /v1/match", "req-1")
+	if !root.Active() {
+		t.Fatal("root not active")
+	}
+	a := root.Child("engine.match")
+	a.SetStr("algo", "maxcard")
+	b := a.Child("catalog.resolve")
+	b.SetBool("closure_cache_hit", true)
+	b.End()
+	c := a.Child("core.maxcard")
+	c.SetInt("initial_pairs", 42)
+	c.End()
+	a.End()
+	root.End()
+
+	td, ok := rec.Get(testID(1).String())
+	if !ok {
+		t.Fatal("trace not found by id")
+	}
+	checkWellFormed(t, td)
+	if td.Spans[1].Parent != 1 || td.Spans[2].Parent != 2 || td.Spans[3].Parent != 2 {
+		t.Fatalf("unexpected parents: %+v", td.Spans)
+	}
+	if td.Name != "POST /v1/match" || td.RequestID != "req-1" {
+		t.Fatalf("trace identity wrong: %+v", td)
+	}
+	if got := td.Spans[2].Attrs[0].Value(); got != true {
+		t.Fatalf("bool attr = %v", got)
+	}
+}
+
+func TestLookupByRequestID(t *testing.T) {
+	rec := NewRecorder(8, time.Hour)
+	sp := rec.StartTrace(testID(7), "GET /x", "req-abc")
+	sp.End()
+	if _, ok := rec.Get("req-abc"); !ok {
+		t.Fatal("lookup by request id failed")
+	}
+	if _, ok := rec.Get("req-missing"); ok {
+		t.Fatal("lookup of unknown key succeeded")
+	}
+	// Newest trace wins for a reused request id.
+	sp2 := rec.StartTrace(testID(8), "GET /y", "req-abc")
+	time.Sleep(time.Millisecond)
+	sp2.End()
+	td, ok := rec.Get("req-abc")
+	if !ok || td.ID != testID(8) {
+		t.Fatalf("expected newest trace for reused request id, got %v ok=%v", td.ID, ok)
+	}
+}
+
+func TestUnfinishedSpansClosedAtCompletion(t *testing.T) {
+	rec := NewRecorder(8, time.Hour)
+	root := rec.StartTrace(testID(2), "POST /v1/match", "r")
+	child := root.Child("engine.match")
+	_ = child // never ended: simulates a deadline abort
+	root.End()
+	td, _ := rec.Get(testID(2).String())
+	checkWellFormed(t, td)
+	sd := td.Spans[1]
+	found := false
+	for _, a := range sd.Attrs {
+		if a.Key == "unfinished" && a.Kind == AttrBool && a.Bool {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("force-closed span missing unfinished marker: %+v", sd)
+	}
+	// Operations on a sealed trace are inert.
+	child.SetStr("late", "x")
+	child.End()
+	if got := child.Child("nope"); got.Active() {
+		t.Fatal("child of sealed trace should be inert")
+	}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	rec := NewRecorder(4, time.Hour)
+	for i := 0; i < 10; i++ {
+		sp := rec.StartTrace(testID(byte(i+1)), "op", fmt.Sprintf("req-%d", i))
+		sp.End()
+	}
+	snap := rec.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot size = %d, want ring capacity 4", len(snap))
+	}
+	// Newest first: traces 10, 9, 8, 7.
+	for i, td := range snap {
+		if want := testID(byte(10 - i)); td.ID != want {
+			t.Fatalf("snapshot[%d].ID = %v, want %v", i, td.ID, want)
+		}
+	}
+	if _, ok := rec.Get(testID(1).String()); ok {
+		t.Fatal("evicted trace still findable")
+	}
+	st := rec.Stats()
+	if st.Completed != 10 || st.Slow != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSlowRetention(t *testing.T) {
+	rec := NewRecorder(4, 10*time.Millisecond)
+	slow := rec.StartTraceAt(testID(100), "slow-op", "req-slow", time.Now().Add(-50*time.Millisecond))
+	slow.End()
+	if td, ok := rec.Get(testID(100).String()); !ok || td.Duration < 10*time.Millisecond {
+		t.Fatalf("slow trace not recorded: ok=%v dur=%v", ok, td.Duration)
+	}
+	// Flood the recent ring with fast traces.
+	for i := 0; i < 16; i++ {
+		sp := rec.StartTrace(testID(byte(i+1)), "fast-op", "req-fast")
+		sp.End()
+	}
+	td, ok := rec.Get(testID(100).String())
+	if !ok {
+		t.Fatal("slow trace evicted by fast traffic; slow ring failed")
+	}
+	if td.Name != "slow-op" {
+		t.Fatalf("wrong trace: %+v", td)
+	}
+	snap := rec.Snapshot(0)
+	foundSlow := false
+	for _, s := range snap {
+		if s.ID == testID(100) {
+			foundSlow = true
+		}
+	}
+	if !foundSlow {
+		t.Fatal("slow trace missing from snapshot")
+	}
+	st := rec.Stats()
+	if st.Slow != 1 {
+		t.Fatalf("Slow = %d, want 1", st.Slow)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	rec := NewRecorder(2, time.Hour)
+	root := rec.StartTrace(testID(3), "op", "r")
+	for i := 0; i < maxSpansPerTrace+50; i++ {
+		sp := root.Child("s")
+		sp.End()
+	}
+	root.End()
+	td, _ := rec.Get(testID(3).String())
+	if len(td.Spans) != maxSpansPerTrace {
+		t.Fatalf("spans = %d, want cap %d", len(td.Spans), maxSpansPerTrace)
+	}
+	if td.Dropped != 51 { // 50 over cap + root's slot was taken first
+		t.Fatalf("dropped = %d, want 51", td.Dropped)
+	}
+	checkWellFormed(t, td)
+}
+
+func TestEndAfterAndChildSpanning(t *testing.T) {
+	rec := NewRecorder(2, time.Hour)
+	start := time.Now()
+	root := rec.StartTraceAt(testID(4), "op", "r", start)
+	root.ChildSpanning("engine.queue", start.Add(2*time.Millisecond), start.Add(5*time.Millisecond))
+	root.EndAfter(9 * time.Millisecond)
+	td, _ := rec.Get(testID(4).String())
+	checkWellFormed(t, td)
+	if td.Duration != 9*time.Millisecond {
+		t.Fatalf("duration = %v, want 9ms", td.Duration)
+	}
+	q := td.Spans[1]
+	if q.Start != 2*time.Millisecond || q.End != 5*time.Millisecond {
+		t.Fatalf("queue span offsets [%v, %v]", q.Start, q.End)
+	}
+}
+
+func TestZeroSpanInert(t *testing.T) {
+	var sp Span
+	if sp.Active() {
+		t.Fatal("zero span active")
+	}
+	sp.SetStr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1.5)
+	sp.SetBool("k", true)
+	sp.End()
+	sp.EndAfter(time.Second)
+	if c := sp.Child("x"); c.Active() {
+		t.Fatal("child of zero span active")
+	}
+	if got := sp.Traceparent(); got != "" {
+		t.Fatalf("Traceparent = %q", got)
+	}
+	if _, ok := sp.Snapshot(); ok {
+		t.Fatal("snapshot of zero span")
+	}
+	ctx := context.Background()
+	if got := SpanFromContext(ctx); got.Active() {
+		t.Fatal("span from empty context active")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	rec := NewRecorder(2, time.Hour)
+	sp := rec.StartTrace(testID(5), "op", "r")
+	ctx := ContextWithSpan(context.Background(), sp)
+	got := SpanFromContext(ctx)
+	if !got.Active() || got.TraceID() != testID(5) {
+		t.Fatalf("context round trip lost span: %+v", got)
+	}
+	sp.End()
+}
+
+func TestStagesDeterministicAndFiltered(t *testing.T) {
+	build := func(withClosureBuild bool) []Stage {
+		rec := NewRecorder(2, time.Hour)
+		root := rec.StartTrace(testID(6), "POST /v1/match", "r")
+		m := root.Child("engine.match")
+		res := m.Child("catalog.resolve")
+		res.SetBool("closure_cache_hit", !withClosureBuild)
+		if withClosureBuild {
+			cb := res.Child("catalog.closure_build")
+			cb.End()
+		}
+		res.End()
+		core := m.Child("core.maxcard")
+		core.SetInt("initial_pairs", 7)
+		core.End()
+		m.End()
+		snap, _ := root.Snapshot()
+		root.End()
+		return snap.Stages()
+	}
+	cold := build(true)
+	warm := build(false)
+	if len(cold) != len(warm) {
+		t.Fatalf("stage count differs across cache states: %d vs %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if cold[i].Name != warm[i].Name {
+			t.Fatalf("stage[%d] name differs: %q vs %q", i, cold[i].Name, warm[i].Name)
+		}
+	}
+	want := []string{"engine.match", "catalog.resolve", "core.maxcard"}
+	for i, w := range want {
+		if cold[i].Name != w {
+			t.Fatalf("stage[%d] = %q, want %q", i, cold[i].Name, w)
+		}
+	}
+	if cold[1].Attrs["closure_cache_hit"] != false || warm[1].Attrs["closure_cache_hit"] != true {
+		t.Fatalf("cache-hit attr not carried: cold=%v warm=%v", cold[1].Attrs, warm[1].Attrs)
+	}
+	// The live snapshot excludes the not-yet-ended root.
+	for _, st := range cold {
+		if st.Name == "POST /v1/match" {
+			t.Fatal("root leaked into stages")
+		}
+	}
+}
+
+// TestConcurrentTraces hammers one recorder from many goroutines and
+// checks every completed trace is well-formed. Run with -race.
+func TestConcurrentTraces(t *testing.T) {
+	rec := NewRecorder(64, time.Hour)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var id TraceID
+				id[0] = byte(w + 1)
+				id[1] = byte(i + 1)
+				id[15] = 1
+				root := rec.StartTrace(id, "op", fmt.Sprintf("w%d-%d", w, i))
+				var inner sync.WaitGroup
+				for c := 0; c < 4; c++ {
+					inner.Add(1)
+					go func(c int) {
+						defer inner.Done()
+						sp := root.Child("concurrent")
+						sp.SetInt("c", int64(c))
+						sp.End()
+					}(c)
+				}
+				inner.Wait()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := rec.Snapshot(0)
+	if len(snap) != 64 {
+		t.Fatalf("snapshot = %d traces, want 64", len(snap))
+	}
+	for _, td := range snap {
+		checkWellFormed(t, td)
+		if len(td.Spans) != 5 {
+			t.Fatalf("trace %v has %d spans, want 5", td.ID, len(td.Spans))
+		}
+	}
+	if st := rec.Stats(); st.Completed != workers*perWorker {
+		t.Fatalf("completed = %d, want %d", st.Completed, workers*perWorker)
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// TraceID is a 16-byte W3C trace id.
+type TraceID [16]byte
+
+// IsZero reports whether the id is all zeroes (invalid per W3C).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses a 32-hex-character trace id. The all-zero id is
+// rejected, as the spec requires.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !decodeHex(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// DeriveTraceID builds a deterministic trace id from a request id so
+// that X-Request-ID doubles as the trace identity when the caller did
+// not send a traceparent. A 32-hex request id is used directly; a
+// 16-hex one (the format newRequestID emits) fills the low 8 bytes;
+// anything else is hashed.
+func DeriveTraceID(requestID string) TraceID {
+	var id TraceID
+	switch len(requestID) {
+	case 32:
+		if decodeHex(id[:], requestID) && !id.IsZero() {
+			return id
+		}
+	case 16:
+		if decodeHex(id[8:], requestID) && !id.IsZero() {
+			return id
+		}
+	}
+	sum := sha256.Sum256([]byte(requestID))
+	copy(id[:], sum[:16])
+	if id.IsZero() { // vanishingly unlikely, but keep the invariant
+		id[15] = 1
+	}
+	return id
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// (version-traceid-spanid-flags, e.g.
+// "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01") and
+// returns the trace id and parent span id. Only version 00 with the
+// exact field widths is accepted; the all-zero trace id and span id
+// are rejected.
+func ParseTraceparent(h string) (TraceID, uint64, bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, 0, false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00
+		return TraceID{}, 0, false
+	}
+	id, ok := ParseTraceID(h[3:35])
+	if !ok {
+		return TraceID{}, 0, false
+	}
+	span, ok := parseHexU64(h[36:52])
+	if !ok || span == 0 {
+		return TraceID{}, 0, false
+	}
+	var flags [1]byte
+	if !decodeHex(flags[:], h[53:55]) {
+		return TraceID{}, 0, false
+	}
+	return id, span, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set.
+func FormatTraceparent(id TraceID, span uint64) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = appendHex(buf, id[:])
+	buf = append(buf, '-')
+	var sp [8]byte
+	for i := 0; i < 8; i++ {
+		sp[i] = byte(span >> (56 - 8*i))
+	}
+	buf = appendHex(buf, sp[:])
+	buf = append(buf, '-', '0', '1')
+	return string(buf)
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex(dst, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	return dst
+}
+
+// decodeHex fills dst from exactly len(dst)*2 lowercase-or-uppercase
+// hex characters, returning false on any non-hex byte or length
+// mismatch.
+func decodeHex(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func parseHexU64(s string) (uint64, bool) {
+	var v uint64
+	if len(s) != 16 {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		d, ok := hexVal(s[i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	id, span, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatal("valid header rejected")
+	}
+	if id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", id)
+	}
+	if span != 0x00f067aa0ba902b7 {
+		t.Fatalf("span = %x", span)
+	}
+	if got := FormatTraceparent(id, span); got != h {
+		t.Fatalf("round trip = %q, want %q", got, h)
+	}
+
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // missing flags
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // wrong version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",    // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",    // non-hex flags
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-ex", // trailing
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted invalid header %q", h)
+		}
+	}
+}
+
+func TestDeriveTraceID(t *testing.T) {
+	// 32-hex request ids become the trace id directly.
+	id := DeriveTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if id.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("32-hex derive = %s", id)
+	}
+	// 16-hex ids (the format newRequestID emits) fill the low bytes.
+	id = DeriveTraceID("00f067aa0ba902b7")
+	if id.String() != "000000000000000000f067aa0ba902b7" {
+		t.Fatalf("16-hex derive = %s", id)
+	}
+	// Anything else hashes deterministically and is non-zero.
+	a := DeriveTraceID("my-custom-id")
+	b := DeriveTraceID("my-custom-id")
+	if a != b || a.IsZero() {
+		t.Fatalf("hash derive unstable or zero: %s vs %s", a, b)
+	}
+	if DeriveTraceID("other") == a {
+		t.Fatal("distinct inputs collided")
+	}
+	if DeriveTraceID("").IsZero() {
+		t.Fatal("empty input produced zero id")
+	}
+}
+
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("")
+	f.Add("00-zz-yy-01")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, h string) {
+		id, span, ok := ParseTraceparent(h)
+		if !ok {
+			return
+		}
+		// Anything accepted must round-trip through Format/Parse
+		// exactly (modulo flags, which Format pins to 01).
+		out := FormatTraceparent(id, span)
+		id2, span2, ok2 := ParseTraceparent(out)
+		if !ok2 || id2 != id || span2 != span {
+			t.Fatalf("round trip failed: %q -> (%s, %x) -> %q -> (%s, %x, %v)",
+				h, id, span, out, id2, span2, ok2)
+		}
+		// Parsing is case-insensitive; formatting emits lowercase.
+		if !strings.EqualFold(out[:53], h[:53]) {
+			t.Fatalf("reformatted header diverged: %q vs %q", out, h)
+		}
+	})
+}
