@@ -1,0 +1,441 @@
+// Command benchcluster measures the sharded serving tier end to end:
+// it boots a real cluster — N shards × R replicas, each replica a
+// phomd engine behind the full HTTP API, followers replicating from
+// their shard primary over the wire — fronts it with the consistent-
+// hash router, and compares it against a single node holding the same
+// catalog with the same per-node worker budget (Workers=1 everywhere,
+// so the cluster's advantage is exactly its horizontal parallelism).
+//
+// Two things are gated, and both write into BENCH_cluster.json:
+//
+//   - Exactness: every scatter-gathered /v1/search top-k must be
+//     bit-identical (hit array JSON) to the single node's answer. Any
+//     divergence fails the run — this is the empirical check of the
+//     DESIGN.md §11 merge-exactness argument.
+//
+//   - Scaling: aggregate search throughput through the router must be
+//     ≥ -min-speedup × the single node's (default 2.0 at 3 shards ×
+//     2 replicas). On hosts without enough cores to express the
+//     parallelism (NumCPU ≤ shards) the measurement is still taken
+//     and reported with cpu_limited=true, but the throughput gate is
+//     skipped — a scaling benchmark on a serial machine measures the
+//     scheduler, not the architecture. CI runs on multi-core runners
+//     where the gate is live.
+//
+//     benchcluster -out BENCH_cluster.json          # full run
+//     benchcluster -short -out BENCH_cluster.json   # CI-sized
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"graphmatch/internal/cluster"
+	"graphmatch/internal/engine"
+	"graphmatch/internal/graph"
+	"graphmatch/internal/httpapi"
+	"graphmatch/internal/webgen"
+)
+
+// node is one serving process stand-in: an engine behind the real
+// HTTP API on a real TCP listener.
+type node struct {
+	eng *engine.Engine
+	srv *http.Server
+	url string
+}
+
+func startNode(eng *engine.Engine) (*node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: httpapi.New(eng)}
+	go srv.Serve(ln)
+	return &node{eng: eng, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (n *node) close() {
+	n.srv.Close()
+	n.eng.Close()
+}
+
+// sideReport is one side's (single node or cluster) measured serving
+// performance.
+type sideReport struct {
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50US   int64   `json:"p50_us"`
+	P95US   int64   `json:"p95_us"`
+	MaxUS   int64   `json:"max_us"`
+}
+
+// report is the BENCH_cluster.json schema.
+type report struct {
+	Timestamp    string     `json:"timestamp"`
+	GoVersion    string     `json:"go_version"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	NumCPU       int        `json:"num_cpu"`
+	Shards       int        `json:"shards"`
+	Replicas     int        `json:"replicas_per_shard"`
+	RingVNodes   int        `json:"ring_vnodes"`
+	Graphs       int        `json:"graphs"`
+	Pages        int        `json:"pages_per_site"`
+	PatternNodes int        `json:"pattern_nodes"`
+	K            int        `json:"k"`
+	Clients      int        `json:"clients"`
+	RegisterSec  float64    `json:"register_sec"`
+	SyncSec      float64    `json:"sync_sec"`
+	SingleNode   sideReport `json:"single_node"`
+	Cluster      sideReport `json:"cluster"`
+	// Speedup is Cluster.QPS / SingleNode.QPS — the aggregate search
+	// scaling the sharded tier buys at equal per-node worker budget.
+	Speedup float64 `json:"speedup"`
+	// EqualTopK reports that every routed search's hit array was
+	// bit-identical to the single node's.
+	EqualTopK bool `json:"equal_topk"`
+	// CPULimited marks a host without enough cores for the cluster's
+	// parallelism; the throughput gate is skipped when set.
+	CPULimited bool `json:"cpu_limited"`
+	// MinSpeedup is the throughput gate actually applied (0 = skipped).
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cluster.json", "output path")
+	shardsN := flag.Int("shards", 3, "shard count")
+	replicas := flag.Int("replicas", 2, "replicas per shard (primary + R-1 followers)")
+	sites := flag.Int("sites", 12, "distinct web sites")
+	versions := flag.Int("versions", 2, "archived versions per site (sites × versions = catalog size)")
+	pages := flag.Int("pages", 60, "pages per site version")
+	patNodes := flag.Int("pattern", 8, "pattern skeleton size")
+	k := flag.Int("k", 10, "ranked hits per search")
+	reps := flag.Int("reps", 6, "timed repetitions of the query set")
+	clients := flag.Int("clients", 8, "concurrent benchmark clients")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "fail unless cluster/single QPS ≥ this (0 disables; auto-skipped on CPU-starved hosts)")
+	short := flag.Bool("short", false, "CI-sized run: smaller sites, fewer repetitions")
+	flag.Parse()
+	if *short {
+		*sites = 9
+		*pages = 30
+		*reps = 3
+	}
+	if *replicas < 1 {
+		log.Fatalf("benchcluster: -replicas must be ≥ 1")
+	}
+
+	// --- Catalog ---------------------------------------------------------
+	categories := []webgen.Category{webgen.Store, webgen.Organization, webgen.Newspaper}
+	var names []string
+	var graphs []*graph.Graph
+	patterns := make([]*graph.Graph, *sites)
+	for s := 0; s < *sites; s++ {
+		arch := webgen.Generate(webgen.Config{
+			Category: categories[s%len(categories)],
+			Pages:    *pages,
+			Versions: *versions,
+			Seed:     int64(4000 + s),
+		})
+		for v, g := range arch.Versions {
+			names = append(names, fmt.Sprintf("s%02dv%02d", s, v))
+			graphs = append(graphs, g)
+		}
+		patterns[s] = webgen.TopKSkeleton(arch.Versions[0], *patNodes)
+	}
+
+	// --- Single-node baseline (Workers=1, same budget as each replica) --
+	single, err := startNode(engine.New(engine.Options{Workers: 1, MaxClosures: len(graphs) + 8}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer single.close()
+
+	// --- Cluster: N shards × R replicas, real replication ----------------
+	tmp, err := os.MkdirTemp("", "benchcluster-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	cfg := cluster.Config{Version: 1}
+	var primaries, followers []*node
+	for i := 0; i < *shardsN; i++ {
+		pdir := fmt.Sprintf("%s/s%d-primary", tmp, i)
+		peng, err := engine.Open(engine.Options{Workers: 1, MaxClosures: len(graphs) + 8, StorePath: pdir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := startNode(peng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.close()
+		primaries = append(primaries, p)
+		eps := []string{p.url}
+		for r := 1; r < *replicas; r++ {
+			fdir := fmt.Sprintf("%s/s%d-follower%d", tmp, i, r)
+			feng, err := engine.Open(engine.Options{
+				Workers: 1, MaxClosures: len(graphs) + 8,
+				StorePath: fdir, FollowURL: p.url,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			f, err := startNode(feng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.close()
+			followers = append(followers, f)
+			eps = append(eps, f.url)
+		}
+		cfg.Shards = append(cfg.Shards, cluster.ShardConfig{Name: fmt.Sprintf("s%d", i), Endpoints: eps})
+	}
+	rt, err := cluster.NewRouter(cfg, cluster.RouterOptions{
+		ProbeInterval:  100 * time.Millisecond,
+		RequestTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsrv := &http.Server{Handler: rt}
+	go rsrv.Serve(rln)
+	defer rsrv.Close()
+	routerURL := "http://" + rln.Addr().String()
+
+	// --- Register the catalog on both sides, over the wire ---------------
+	regStart := time.Now()
+	for i, name := range names {
+		registerOrDie(routerURL, names[i], graphs[i])
+		registerOrDie(single.url, name, graphs[i])
+	}
+	registerSec := time.Since(regStart).Seconds()
+
+	// Followers must be provably at their primary's head before the
+	// equivalence pass: a stale replica answering a balanced read would
+	// turn a replication race into a false divergence.
+	syncStart := time.Now()
+	waitSynced(primaries, followers, 2*time.Minute)
+	syncSec := time.Since(syncStart).Seconds()
+	// Let the router's prober observe the synced, lag-0 state.
+	time.Sleep(300 * time.Millisecond)
+
+	// --- Equivalence gate (doubles as the warm-up pass) ------------------
+	equal := true
+	for pi, p := range patterns {
+		req := httpapi.SearchRequest{Pattern: p, Algo: "maxsim", Sim: "content", K: *k}
+		rHits := searchHits(routerURL, req)
+		sHits := searchHits(single.url, req)
+		if !bytes.Equal(rHits, sHits) {
+			equal = false
+			log.Printf("DIVERGENCE pattern %d:\n  cluster: %s\n  single:  %s", pi, rHits, sHits)
+		}
+	}
+
+	// --- Throughput ------------------------------------------------------
+	queries := make([]httpapi.SearchRequest, 0, len(patterns)**reps)
+	for r := 0; r < *reps; r++ {
+		for _, p := range patterns {
+			queries = append(queries, httpapi.SearchRequest{Pattern: p, Algo: "maxsim", Sim: "content", K: *k})
+		}
+	}
+	singleSide := drive(single.url, queries, *clients)
+	clusterSide := drive(routerURL, queries, *clients)
+	speedup := 0.0
+	if singleSide.QPS > 0 {
+		speedup = clusterSide.QPS / singleSide.QPS
+	}
+
+	cpuLimited := runtime.NumCPU() <= *shardsN
+	gate := *minSpeedup
+	if cpuLimited && gate > 0 {
+		log.Printf("host has %d CPU(s) for a %d-shard cluster: throughput gate skipped (cpu_limited)",
+			runtime.NumCPU(), *shardsN)
+		gate = 0
+	}
+
+	rep := report{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Shards:       *shardsN,
+		Replicas:     *replicas,
+		RingVNodes:   rt.Ring().Config().VNodes,
+		Graphs:       len(graphs),
+		Pages:        *pages,
+		PatternNodes: *patNodes,
+		K:            *k,
+		Clients:      *clients,
+		RegisterSec:  round3(registerSec),
+		SyncSec:      round3(syncSec),
+		SingleNode:   singleSide,
+		Cluster:      clusterSide,
+		Speedup:      round3(speedup),
+		EqualTopK:    equal,
+		CPULimited:   cpuLimited,
+		MinSpeedup:   gate,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", data)
+	fmt.Printf("\n%d graphs over %d shards × %d replicas: single %.1f q/s, cluster %.1f q/s — %.2fx, equal_topk=%v\n",
+		len(graphs), *shardsN, *replicas, singleSide.QPS, clusterSide.QPS, speedup, equal)
+
+	if !equal {
+		log.Fatalf("FAIL: sharded top-k diverged from single node")
+	}
+	if gate > 0 && speedup < gate {
+		log.Fatalf("FAIL: speedup %.2fx below the %.2fx gate", speedup, gate)
+	}
+}
+
+func registerOrDie(base, name string, g *graph.Graph) {
+	body, err := json.Marshal(httpapi.RegisterRequest{Name: name, Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("register %s on %s: %d %s", name, base, resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// waitSynced blocks until every follower has durably applied its
+// primary's full log. Followers are grouped under primaries in
+// registration order: followers[i*(R-1)...] belong to primaries[i].
+func waitSynced(primaries, followers []*node, timeout time.Duration) {
+	if len(followers) == 0 {
+		return
+	}
+	perPrimary := len(followers) / len(primaries)
+	deadline := time.Now().Add(timeout)
+	for {
+		synced := true
+		for i, f := range followers {
+			p := primaries[i/perPrimary]
+			rs, ok := f.eng.ReplStats()
+			if !ok {
+				log.Fatalf("node %s is not a follower", f.url)
+			}
+			ps, _ := p.eng.StoreStats()
+			if !(rs.SyncedOnce && !rs.Diverged && rs.LastApplied == ps.LastSeq) {
+				synced = false
+				break
+			}
+		}
+		if synced {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("followers never caught up within %v", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// searchHits POSTs one search and returns the hit array re-marshalled
+// as canonical JSON (both sides decode into the same struct first, so
+// field order and float formatting cannot cause false divergence —
+// only actual values can).
+func searchHits(base string, req httpapi.SearchRequest) []byte {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("search on %s: %d %s", base, resp.StatusCode, data)
+	}
+	var sr httpapi.SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		log.Fatalf("decoding search response from %s: %v", base, err)
+	}
+	hits, _ := json.Marshal(sr.Hits)
+	return hits
+}
+
+// drive runs the query set once through `clients` concurrent workers
+// against base and reports aggregate throughput and latency.
+func drive(base string, queries []httpapi.SearchRequest, clients int) sideReport {
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		bodies[i], _ = json.Marshal(q)
+	}
+	lat := make([]time.Duration, len(queries))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients * 2}}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(bodies) {
+					return
+				}
+				qStart := time.Now()
+				resp, err := client.Post(base+"/v1/search", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					log.Fatalf("search against %s: %v", base, err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					log.Fatalf("search against %s: status %d", base, resp.StatusCode)
+				}
+				lat[i] = time.Since(qStart)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return sideReport{
+		Queries: len(queries),
+		QPS:     round3(float64(len(queries)) / elapsed.Seconds()),
+		P50US:   lat[len(lat)/2].Microseconds(),
+		P95US:   lat[len(lat)*95/100].Microseconds(),
+		MaxUS:   lat[len(lat)-1].Microseconds(),
+	}
+}
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"graphmatch/internal/cluster"
+)
+
+// runCluster implements the cluster verb: fetch GET /v1/cluster from a
+// router and render the ring layout (shard → vnodes → owned-graph
+// sample), each endpoint's live /readyz state and replication lag, and
+// exit non-zero when any shard is unreachable — so deploy scripts can
+// gate on cluster health the same way snapshot scripts gate on
+// `phom snapshot`.
+func runCluster(args []string) {
+	fs := flag.NewFlagSet("phom cluster", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8084", "phomd router base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	_ = fs.Parse(args)
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(strings.TrimRight(*addr, "/") + "/v1/cluster")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var out cluster.ClusterResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		fatal(fmt.Errorf("decoding /v1/cluster response: %w", err))
+	}
+
+	fmt.Printf("ring v%d: %d shards × %d vnodes\n",
+		out.Ring.Version, len(out.Ring.Shards), out.Ring.VNodes)
+	for _, s := range out.Shards {
+		graphs := "unreachable"
+		if s.Graphs >= 0 {
+			graphs = fmt.Sprintf("%d graphs", s.Graphs)
+		}
+		fmt.Printf("\n%s  (%d vnodes, %s", s.Name, s.VNodes, graphs)
+		if s.Misplaced > 0 {
+			fmt.Printf(", %d misplaced", s.Misplaced)
+		}
+		fmt.Printf(")\n")
+		if len(s.Sample) > 0 {
+			fmt.Printf("  sample: %s\n", strings.Join(s.Sample, ", "))
+		}
+		if s.Error != "" {
+			fmt.Printf("  error:  %s\n", s.Error)
+		}
+		for _, ep := range s.Endpoints {
+			role := "replica"
+			if ep.Primary {
+				role = "primary"
+			}
+			state := "ready"
+			switch {
+			case !ep.Probed:
+				state = "unprobed"
+			case !ep.Ready:
+				state = "NOT READY"
+				if ep.Error != "" {
+					state += " (" + ep.Error + ")"
+				}
+			}
+			fmt.Printf("  %-7s %-28s %-10s lag=%d\n", role, ep.URL, state, ep.Lag)
+		}
+	}
+	if !out.Reachable {
+		fmt.Fprintln(os.Stderr, "\nphom cluster: one or more shards unreachable")
+		os.Exit(1)
+	}
+}

@@ -49,6 +49,13 @@
 //
 // Like snapshot, it exits non-zero on any HTTP error so mutation
 // scripts can gate on success.
+//
+// The cluster verb inspects a phomd router (see phomd -router): ring
+// layout with per-shard vnode counts and owned-graph samples, each
+// endpoint's /readyz state and replication lag, non-zero exit when any
+// shard is unreachable:
+//
+//	phom cluster -addr http://localhost:8084
 package main
 
 import (
@@ -96,6 +103,9 @@ func main() {
 			return
 		case "trace":
 			runTrace(os.Args[2:])
+			return
+		case "cluster":
+			runCluster(os.Args[2:])
 			return
 		}
 	}

@@ -45,6 +45,16 @@
 // Location, and flip /readyz only once caught up within -ready-max-lag:
 //
 //	phomd -addr :8081 -store /var/lib/phomd-replica -follow http://primary:8080
+//
+// With -router the process is a stateless cluster front instead of a
+// shard: a consistent-hash ring places every graph on one shard,
+// mutations go to the owning shard's primary, single-graph reads are
+// balanced across the shard's replicas within -route-max-lag, and
+// /v1/search is scatter-gathered across all shards into an exact
+// global top-k (see internal/cluster and DESIGN.md §11):
+//
+//	phomd -addr :8084 -router \
+//	      -shards "s0=http://h0:8080,http://h0:8081;s1=http://h1:8080"
 package main
 
 import (
@@ -111,9 +121,38 @@ func main() {
 	noTrace := flag.Bool("no-trace", false, "disable request tracing and the /debug/traces flight recorder")
 	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring size: last N completed traces kept for /debug/traces (0 = default 128)")
 	traceSlow := flag.Duration("trace-slow", 0, "traces at or above this duration are retained in the slow ring even after falling out of the recent one (0 = default 250ms)")
+	router := flag.Bool("router", false, "run as a stateless cluster router (scatter-gather front) instead of a shard; needs -shards or -ring")
+	shardsSpec := flag.String("shards", "", `router shard spec: semicolon-separated "name=primary[,replica...]" URL lists (see internal/cluster.ParseSpec); needs -router`)
+	ringPath := flag.String("ring", "", "router ring config JSON file (the serialized cluster.Config); alternative to -shards")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default 64); needs -router")
+	routeMaxLag := flag.Uint64("route-max-lag", 0, "route reads only to replicas whose probed replication lag is within this many ops; needs -router")
+	probeInterval := flag.Duration("probe-interval", 0, "shard /readyz health-probe period (0 = default 500ms); needs -router")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a data graph as name=path.json (repeatable)")
 	flag.Parse()
+
+	if *router {
+		if *storePath != "" || *follow != "" || len(loads) > 0 {
+			log.Fatalf("phomd: -router is stateless and conflicts with -store, -follow and -load")
+		}
+		runRouter(routerFlags{
+			addr:          *addr,
+			shards:        *shardsSpec,
+			ringPath:      *ringPath,
+			vnodes:        *vnodes,
+			routeMaxLag:   *routeMaxLag,
+			probeInterval: *probeInterval,
+			timeout:       *requestTimeout,
+			accessLog:     *accessLog,
+			noTrace:       *noTrace,
+			traceCapacity: *traceCapacity,
+			traceSlow:     *traceSlow,
+		})
+		return
+	}
+	if *shardsSpec != "" || *ringPath != "" {
+		log.Fatalf("phomd: -shards/-ring need -router")
+	}
 
 	if *follow != "" {
 		if *storePath == "" {

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultProbeInterval is how often the router re-probes every shard
+// endpoint when Options.ProbeInterval is left zero.
+const DefaultProbeInterval = 500 * time.Millisecond
+
+// EndpointHealth is one endpoint's last probe result, as reported on
+// GET /v1/cluster.
+type EndpointHealth struct {
+	URL     string `json:"url"`
+	Ready   bool   `json:"ready"`
+	Lag     uint64 `json:"lag"`
+	Error   string `json:"error,omitempty"`
+	Probed  bool   `json:"probed"`
+	AgeMS   int64  `json:"age_ms,omitempty"`
+	Primary bool   `json:"primary"`
+}
+
+// endpointState is the tracker's mutable view of one endpoint.
+type endpointState struct {
+	probed  bool
+	ready   bool
+	lag     uint64
+	err     string
+	checked time.Time
+}
+
+// healthTracker polls every shard endpoint's GET /readyz on a fixed
+// interval and answers the router's read-balancing question: which
+// replicas of shard i may serve this read? An endpoint is eligible
+// when its last probe was 200 with X-Replication-Lag within the
+// configured bound — or when it has never been probed yet (optimistic,
+// so a cold router routes immediately instead of failing its first
+// requests). Reads rotate round-robin over the eligible endpoints;
+// ineligible ones are kept as ordered fallbacks so a shard whose
+// probes all fail still gets attempted (and the real error surfaces).
+type healthTracker struct {
+	shards   []ShardConfig
+	client   *http.Client
+	interval time.Duration
+
+	mu     sync.Mutex
+	states map[string]*endpointState
+	rr     []uint64 // per-shard round-robin cursor
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	// observe, when non-nil, receives every probe result (the router
+	// hangs its endpoint gauges here).
+	observe func(url string, ready bool, lag uint64)
+}
+
+func newHealthTracker(shards []ShardConfig, client *http.Client, interval time.Duration) *healthTracker {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	h := &healthTracker{
+		shards:   shards,
+		client:   client,
+		interval: interval,
+		states:   make(map[string]*endpointState),
+		rr:       make([]uint64, len(shards)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, s := range shards {
+		for _, ep := range s.Endpoints {
+			h.states[ep] = &endpointState{}
+		}
+	}
+	return h
+}
+
+// start launches the probe loop; an immediate first round runs before
+// the first tick so the tracker is warm within one probe round-trip.
+func (h *healthTracker) start() {
+	go func() {
+		defer close(h.done)
+		h.probeAll()
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.probeAll()
+			}
+		}
+	}()
+}
+
+func (h *healthTracker) close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// probeAll probes every endpoint concurrently and folds the results
+// into the state table.
+func (h *healthTracker) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range h.shards {
+		for _, ep := range s.Endpoints {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				ready, lag, err := h.probe(url)
+				h.mu.Lock()
+				st := h.states[url]
+				st.probed = true
+				st.ready = ready
+				st.lag = lag
+				st.err = err
+				st.checked = time.Now()
+				h.mu.Unlock()
+				if h.observe != nil {
+					h.observe(url, ready, lag)
+				}
+			}(ep)
+		}
+	}
+	wg.Wait()
+}
+
+// probe issues one GET /readyz. A 200 means ready; the returned lag is
+// the X-Replication-Lag header (0 when absent, i.e. a primary).
+func (h *healthTracker) probe(url string) (ready bool, lag uint64, errStr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false, 0, err.Error()
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false, 0, err.Error()
+	}
+	defer resp.Body.Close()
+	if v := resp.Header.Get("X-Replication-Lag"); v != "" {
+		lag, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, lag, resp.Status
+	}
+	return true, lag, ""
+}
+
+// probeTimeout bounds one probe: the interval itself, clamped to
+// [100ms, 2s] so a tight interval still completes a TCP handshake and
+// a lazy one cannot hang the loop.
+func (h *healthTracker) probeTimeout() time.Duration {
+	d := h.interval
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// readOrder returns shard i's endpoints in the order a read should try
+// them: eligible endpoints first (rotated round-robin per shard), then
+// the ineligible ones as fallbacks. Never empty.
+func (h *healthTracker) readOrder(shard int, maxLag uint64) []string {
+	eps := h.shards[shard].Endpoints
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	eligible := make([]string, 0, len(eps))
+	var rest []string
+	for _, ep := range eps {
+		st := h.states[ep]
+		if !st.probed || (st.ready && st.lag <= maxLag) {
+			eligible = append(eligible, ep)
+		} else {
+			rest = append(rest, ep)
+		}
+	}
+	if len(eligible) == 0 {
+		return rest
+	}
+	h.rr[shard]++
+	rot := int(h.rr[shard]) % len(eligible)
+	out := make([]string, 0, len(eps))
+	out = append(out, eligible[rot:]...)
+	out = append(out, eligible[:rot]...)
+	return append(out, rest...)
+}
+
+// snapshot returns the current state of every endpoint of shard i.
+func (h *healthTracker) snapshot(shard int) []EndpointHealth {
+	eps := h.shards[shard].Endpoints
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]EndpointHealth, 0, len(eps))
+	for j, ep := range eps {
+		st := h.states[ep]
+		eh := EndpointHealth{
+			URL:     ep,
+			Ready:   st.ready,
+			Lag:     st.lag,
+			Error:   st.err,
+			Probed:  st.probed,
+			Primary: j == 0,
+		}
+		if st.probed {
+			eh.AgeMS = time.Since(st.checked).Milliseconds()
+		}
+		out = append(out, eh)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func trackerFor(shards []ShardConfig) *healthTracker {
+	return newHealthTracker(shards, http.DefaultClient, time.Hour)
+}
+
+func setState(h *healthTracker, url string, ready bool, lag uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[url]
+	st.probed = true
+	st.ready = ready
+	st.lag = lag
+	st.checked = time.Now()
+}
+
+// Unprobed endpoints are optimistically eligible: a cold router must
+// route its first requests instead of failing them.
+func TestReadOrderUnprobedOptimistic(t *testing.T) {
+	h := trackerFor([]ShardConfig{{Name: "s0", Endpoints: []string{"http://p", "http://r"}}})
+	order := h.readOrder(0, 0)
+	if len(order) != 2 {
+		t.Fatalf("order %v, want both endpoints", order)
+	}
+}
+
+// The staleness bound excludes lagging replicas from the eligible set
+// but keeps them as ordered fallbacks, and never returns empty.
+func TestReadOrderLagBound(t *testing.T) {
+	h := trackerFor([]ShardConfig{{Name: "s0", Endpoints: []string{"http://p", "http://r"}}})
+	setState(h, "http://p", true, 0)
+	setState(h, "http://r", true, 5)
+
+	order := h.readOrder(0, 0) // maxLag 0: replica 5 ops behind is out
+	if order[0] != "http://p" || order[1] != "http://r" {
+		t.Fatalf("maxLag=0 order %v, want primary first, lagging replica fallback", order)
+	}
+	// With the bound relaxed both are eligible and rotation alternates.
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		seen[h.readOrder(0, 10)[0]] = true
+	}
+	if !seen["http://p"] || !seen["http://r"] {
+		t.Fatalf("round-robin never rotated: %v", seen)
+	}
+}
+
+// A shard whose every probe failed still yields its endpoints — the
+// request must go out and surface the real error.
+func TestReadOrderAllDown(t *testing.T) {
+	h := trackerFor([]ShardConfig{{Name: "s0", Endpoints: []string{"http://p", "http://r"}}})
+	setState(h, "http://p", false, 0)
+	setState(h, "http://r", false, 0)
+	if order := h.readOrder(0, 0); len(order) != 2 {
+		t.Fatalf("all-down order %v, want both as fallbacks", order)
+	}
+}
+
+// probeAll hits GET /readyz, records readiness and the replication
+// lag header, and feeds the observe hook.
+func TestProbeReadsLagHeader(t *testing.T) {
+	ready := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		w.Header().Set("X-Replication-Lag", "3")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ready.Close()
+	notReady := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer notReady.Close()
+
+	h := newHealthTracker([]ShardConfig{
+		{Name: "s0", Endpoints: []string{ready.URL, notReady.URL}},
+	}, http.DefaultClient, time.Second)
+	type obs struct {
+		ready bool
+		lag   uint64
+	}
+	results := make(map[string]obs)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	h.observe = func(url string, ok bool, lag uint64) {
+		<-mu
+		results[url] = obs{ok, lag}
+		mu <- struct{}{}
+	}
+	h.probeAll()
+
+	snap := h.snapshot(0)
+	if !snap[0].Ready || snap[0].Lag != 3 || !snap[0].Primary {
+		t.Fatalf("ready endpoint snapshot %+v", snap[0])
+	}
+	if snap[1].Ready || snap[1].Error == "" || snap[1].Primary {
+		t.Fatalf("not-ready endpoint snapshot %+v", snap[1])
+	}
+	<-mu
+	if r := results[ready.URL]; !r.ready || r.lag != 3 {
+		t.Fatalf("observe hook saw %+v for the ready endpoint", r)
+	}
+}

@@ -1,0 +1,219 @@
+// Package cluster is the horizontal-scaling tier of phomd: a
+// consistent-hash ring that places each registered graph on exactly
+// one shard, and a stateless router (router.go) that fronts a fleet
+// of phomd shards — routing mutations to the owning shard's primary,
+// balancing single-graph reads across a shard's replicas, and
+// scatter-gathering catalog-wide searches into an exact global top-k.
+//
+// The ring is the contract every party agrees on: routers, the `phom
+// cluster` verb and operators all derive placement from the same
+// serialized Config (a version number detects mismatched views), so
+// "which shard owns graph X" has one answer everywhere.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per shard when a Config
+// leaves VNodes at 0. More vnodes smooth the key distribution and
+// shrink the variance of how much data a ring change moves; 64 keeps
+// the spread within a few percent at single-digit shard counts.
+const DefaultVNodes = 64
+
+// ShardConfig names one shard and its serving endpoints. The first
+// endpoint is the primary — the only endpoint mutations are sent to —
+// and any further endpoints are read replicas (phomd -follow).
+type ShardConfig struct {
+	Name      string   `json:"name"`
+	Endpoints []string `json:"endpoints"`
+}
+
+// Primary returns the shard's mutation endpoint.
+func (s ShardConfig) Primary() string { return s.Endpoints[0] }
+
+// Config is the serializable ring description. Routers and the phom
+// CLI build identical rings from identical Configs; Version lets two
+// parties check they agree on placement before trusting each other's
+// answers (a router logs its ring version at boot, `phom cluster`
+// prints the version it fetched).
+type Config struct {
+	Version int           `json:"version"`
+	VNodes  int           `json:"vnodes"`
+	Shards  []ShardConfig `json:"shards"`
+}
+
+// Ring is an immutable consistent-hash ring over a Config: each shard
+// contributes VNodes points on a 64-bit hash circle, and a graph name
+// is owned by the shard of the first point at or clockwise of the
+// name's hash. Placement depends only on (shard names, VNodes), never
+// on shard order or endpoint lists, so endpoint changes (a replica
+// added, a primary moved) move no data, and adding a shard moves only
+// the ~1/N of names whose arc the new shard's points claim.
+type Ring struct {
+	cfg    Config
+	points []point // sorted by (hash, shard index)
+}
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing validates cfg and builds its ring. VNodes 0 applies
+// DefaultVNodes; Version 0 is normalised to 1.
+func NewRing(cfg Config) (*Ring, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring has no shards")
+	}
+	if cfg.VNodes == 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.VNodes < 0 {
+		return nil, fmt.Errorf("cluster: vnodes %d negative", cfg.VNodes)
+	}
+	if cfg.Version <= 0 {
+		cfg.Version = 1
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	shards := make([]ShardConfig, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		if s.Name == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no name", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Endpoints) == 0 {
+			return nil, fmt.Errorf("cluster: shard %q has no endpoints", s.Name)
+		}
+		eps := make([]string, len(s.Endpoints))
+		for j, ep := range s.Endpoints {
+			ep = strings.TrimRight(ep, "/")
+			if !strings.HasPrefix(ep, "http://") && !strings.HasPrefix(ep, "https://") {
+				return nil, fmt.Errorf("cluster: shard %q endpoint %q is not an http(s) URL", s.Name, ep)
+			}
+			eps[j] = ep
+		}
+		shards[i] = ShardConfig{Name: s.Name, Endpoints: eps}
+	}
+	cfg.Shards = shards
+
+	r := &Ring{cfg: cfg, points: make([]point, 0, len(cfg.Shards)*cfg.VNodes)}
+	for i, s := range cfg.Shards {
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, point{hash: hashKey(s.Name + "#" + fmt.Sprint(v)), shard: i})
+		}
+	}
+	// Sort by hash; ties (astronomically unlikely with fnv64a, but
+	// placement must be total) break by shard index for determinism.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r, nil
+}
+
+// hashKey is the ring's one hash function, for vnode points and graph
+// names alike: FNV-1a 64 finished with a splitmix64 avalanche, stable
+// across processes and Go versions. Raw FNV-1a barely diffuses its
+// high bits on short keys, so sequential names ("site-0001",
+// "site-0002") and a shard's vnode points ("s0#0".."s0#63") land in
+// tight clumps on the circle — one shard ends up owning most of the
+// catalog. The finalizer spreads every input bit over the whole word,
+// restoring the uniform-arc assumption consistent hashing needs.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.), a fixed bijection
+// on uint64 — changing it would re-place every graph in every
+// deployment, so it is as much wire format as the ring Config.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// OwnerIndex returns the index (into Config().Shards) of the shard
+// owning the given graph name.
+func (r *Ring) OwnerIndex(name string) int {
+	h := hashKey(name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first point owns it
+	}
+	return r.points[i].shard
+}
+
+// Owner returns the shard owning the given graph name.
+func (r *Ring) Owner(name string) ShardConfig {
+	return r.cfg.Shards[r.OwnerIndex(name)]
+}
+
+// Config returns the normalised configuration the ring was built from.
+func (r *Ring) Config() Config { return r.cfg }
+
+// Version returns the ring's placement version.
+func (r *Ring) Version() int { return r.cfg.Version }
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return len(r.cfg.Shards) }
+
+// ParseSpec builds a Config from the phomd -shards flag syntax: a
+// semicolon-separated list of shards, each "name=primary[,replica...]"
+// (the name may be omitted, yielding shard00, shard01, ...):
+//
+//	-shards "s0=http://h0:8080,http://h0:8081;s1=http://h1:8080"
+//
+// vnodes 0 applies DefaultVNodes.
+func ParseSpec(spec string, vnodes int) (Config, error) {
+	cfg := Config{Version: 1, VNodes: vnodes}
+	for i, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name := fmt.Sprintf("shard%02d", i)
+		urls := part
+		if eq := strings.Index(part, "="); eq >= 0 && !strings.Contains(part[:eq], "/") {
+			name, urls = part[:eq], part[eq+1:]
+		}
+		var eps []string
+		for _, u := range strings.Split(urls, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				eps = append(eps, u)
+			}
+		}
+		if len(eps) == 0 {
+			return Config{}, fmt.Errorf("cluster: shard spec %q has no endpoints", part)
+		}
+		cfg.Shards = append(cfg.Shards, ShardConfig{Name: name, Endpoints: eps})
+	}
+	if len(cfg.Shards) == 0 {
+		return Config{}, fmt.Errorf("cluster: empty -shards spec")
+	}
+	return cfg, nil
+}
+
+// LoadConfig parses a serialized ring configuration (the JSON form of
+// Config, as written by an operator or another router).
+func LoadConfig(data []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("cluster: parsing ring config: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func shardNames(n int) []ShardConfig {
+	out := make([]ShardConfig, n)
+	for i := range out {
+		out[i] = ShardConfig{
+			Name:      fmt.Sprintf("s%d", i),
+			Endpoints: []string{fmt.Sprintf("http://host%d:8080", i)},
+		}
+	}
+	return out
+}
+
+func testNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%04d", i)
+	}
+	return out
+}
+
+// Placement must be a pure function of (shard names, vnodes): two
+// rings from the same config agree on every name, and shard order in
+// the config is irrelevant.
+func TestRingDeterminism(t *testing.T) {
+	cfg := Config{Shards: shardNames(4)}
+	a, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := Config{Shards: []ShardConfig{cfg.Shards[3], cfg.Shards[2], cfg.Shards[1], cfg.Shards[0]}}
+	c, err := NewRing(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range testNames(1000) {
+		if a.Owner(name).Name != b.Owner(name).Name {
+			t.Fatalf("same config, different owner for %q", name)
+		}
+		if a.Owner(name).Name != c.Owner(name).Name {
+			t.Fatalf("shard order changed placement of %q: %s vs %s",
+				name, a.Owner(name).Name, c.Owner(name).Name)
+		}
+	}
+}
+
+// Endpoint changes (replica added, primary moved) must not move data.
+func TestRingPlacementIgnoresEndpoints(t *testing.T) {
+	cfg := Config{Shards: shardNames(3)}
+	a, _ := NewRing(cfg)
+	moved := Config{Shards: shardNames(3)}
+	for i := range moved.Shards {
+		moved.Shards[i].Endpoints = []string{
+			fmt.Sprintf("http://elsewhere%d:9999", i),
+			fmt.Sprintf("http://replica%d:9999", i),
+		}
+	}
+	b, _ := NewRing(moved)
+	for _, name := range testNames(500) {
+		if a.Owner(name).Name != b.Owner(name).Name {
+			t.Fatalf("endpoint change moved %q", name)
+		}
+	}
+}
+
+// A serialized ring config round-trips into the identical placement,
+// version included — the property routers and phom rely on to agree.
+func TestRingConfigRoundTrip(t *testing.T) {
+	cfg := Config{Version: 7, VNodes: 32, Shards: shardNames(3)}
+	a, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := LoadConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 7 {
+		t.Fatalf("version lost in round trip: %d", b.Version())
+	}
+	for _, name := range testNames(500) {
+		if a.Owner(name).Name != b.Owner(name).Name {
+			t.Fatalf("round-tripped config moved %q", name)
+		}
+	}
+}
+
+// Adding one shard to an N-shard ring moves roughly 1/(N+1) of the
+// names — and every moved name lands on the new shard, never between
+// old shards (the consistent-hashing contract).
+func TestRingRebalance(t *testing.T) {
+	const names = 4000
+	before, err := NewRing(Config{Shards: shardNames(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(Config{Shards: shardNames(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, name := range testNames(names) {
+		oldOwner := before.Owner(name).Name
+		newOwner := after.Owner(name).Name
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "s4" {
+			t.Fatalf("%q moved %s -> %s, not to the new shard", name, oldOwner, newOwner)
+		}
+	}
+	// Expectation is names/5 = 800; allow generous variance but fail on
+	// a broken hash that reshuffles half the catalog.
+	if moved == 0 {
+		t.Fatal("adding a shard moved nothing")
+	}
+	if frac := float64(moved) / names; frac > 0.35 {
+		t.Fatalf("adding 1 shard to 4 moved %.0f%% of names, want ~20%%", frac*100)
+	}
+}
+
+// With vnodes the per-shard load stays within a sane band.
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(Config{Shards: shardNames(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const names = 3000
+	for _, name := range testNames(names) {
+		counts[r.Owner(name).Name]++
+	}
+	for shard, n := range counts {
+		frac := float64(n) / names
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %s owns %.0f%% of names; vnode spread broken", shard, frac*100)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	cases := []Config{
+		{},                                  // no shards
+		{Shards: []ShardConfig{{Name: ""}}}, // unnamed
+		{Shards: []ShardConfig{
+			{Name: "a", Endpoints: []string{"http://x"}},
+			{Name: "a", Endpoints: []string{"http://y"}},
+		}}, // duplicate
+		{Shards: []ShardConfig{{Name: "a"}}},                                              // no endpoints
+		{Shards: []ShardConfig{{Name: "a", Endpoints: []string{"host:80"}}}},              // not a URL
+		{VNodes: -1, Shards: []ShardConfig{{Name: "a", Endpoints: []string{"http://x"}}}}, // negative vnodes
+	}
+	for i, cfg := range cases {
+		if _, err := NewRing(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	r, err := NewRing(Config{Shards: []ShardConfig{{Name: "a", Endpoints: []string{"http://x/"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Config(); got.VNodes != DefaultVNodes || got.Version != 1 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	if ep := r.Config().Shards[0].Primary(); ep != "http://x" {
+		t.Fatalf("trailing slash kept: %q", ep)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("s0=http://a:1,http://a:2; s1=http://b:1 ;http://c:1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Shards) != 3 || cfg.VNodes != 16 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if cfg.Shards[0].Name != "s0" || len(cfg.Shards[0].Endpoints) != 2 {
+		t.Fatalf("shard 0: %+v", cfg.Shards[0])
+	}
+	if cfg.Shards[2].Name != "shard02" {
+		t.Fatalf("unnamed shard got %q, want shard02", cfg.Shards[2].Name)
+	}
+	if _, err := ParseSpec("", 0); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseSpec("s0=;", 0); err == nil {
+		t.Fatal("endpointless shard accepted")
+	}
+	// A URL containing "=" in its query must not be split as a name.
+	cfg, err = ParseSpec("http://host:8080/base?x=1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards[0].Name != "shard00" {
+		t.Fatalf("query '=' parsed as shard name: %+v", cfg.Shards[0])
+	}
+}

@@ -82,6 +82,13 @@ func (s *server) debugTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	writeJSON(w, http.StatusOK, BuildTraceList(tr, limit))
+}
+
+// BuildTraceList assembles the GET /debug/traces body from a flight
+// recorder. Shared with the cluster router, whose own recorder serves
+// the same route shape.
+func BuildTraceList(tr *trace.Recorder, limit int) TraceListResponse {
 	st := tr.Stats()
 	out := TraceListResponse{
 		SlowThresholdUS: tr.SlowThreshold().Microseconds(),
@@ -93,7 +100,7 @@ func (s *server) debugTraces(w http.ResponseWriter, r *http.Request) {
 	for _, td := range tr.Snapshot(limit) {
 		out.Traces = append(out.Traces, summarize(td, tr.SlowThreshold()))
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func (s *server) debugTrace(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +115,12 @@ func (s *server) debugTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no trace %q in the flight recorder", key))
 		return
 	}
+	writeJSON(w, http.StatusOK, BuildTraceDetail(tr, td))
+}
+
+// BuildTraceDetail assembles the GET /debug/traces/{id} body for one
+// completed trace. Shared with the cluster router.
+func BuildTraceDetail(tr *trace.Recorder, td trace.TraceData) TraceDetailResponse {
 	out := TraceDetailResponse{
 		ID:           td.ID.String(),
 		Route:        td.Name,
@@ -136,7 +149,7 @@ func (s *server) debugTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Spans = append(out.Spans, ts)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 func summarize(td trace.TraceData, slowThreshold time.Duration) TraceSummary {
